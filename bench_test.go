@@ -1,0 +1,180 @@
+package juggler
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§5), each regenerating and printing the corresponding rows,
+// plus micro-benchmarks of the hot data structures.
+//
+// Experiment benchmarks run in quick mode by default so the whole suite
+// finishes in minutes; set JUGGLER_BENCH_FULL=1 for full-fidelity sweeps
+// (this is what EXPERIMENTS.md records). Tables print once per benchmark.
+//
+//	go test -bench=. -benchmem
+//	JUGGLER_BENCH_FULL=1 go test -bench=Fig20 -benchtime=1x
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/experiments"
+	"juggler/internal/gro"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// benchExperiment runs one experiment per iteration, printing its table on
+// the first.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	quick := os.Getenv("JUGGLER_BENCH_FULL") == ""
+	for i := 0; i < b.N; i++ {
+		t := experiments.Run(id, experiments.Options{Seed: 1, Quick: quick})
+		if t == nil {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		if i == 0 {
+			t.Fprint(os.Stdout)
+		}
+	}
+}
+
+// Figure 1: bandwidth-guarantee time series (Juggler vs vanilla kernel).
+func BenchmarkFig1BandwidthGuaranteeTimeseries(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Figure 9: CPU overhead, single 20Gb/s flow, with and without reordering.
+func BenchmarkFig9CPUSingleFlow(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figure 10: CPU overhead with 256 flows.
+func BenchmarkFig10CPUMultiFlow(b *testing.B) { benchExperiment(b, "fig10") }
+
+// §5.1.2: median 150B RPC latency with and without Juggler.
+func BenchmarkLatencyOverheadRPC(b *testing.B) { benchExperiment(b, "latency") }
+
+// Figure 12: batching extent and CPU vs inseq_timeout.
+func BenchmarkFig12InseqTimeout(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Figure 13: throughput vs ofo_timeout under controlled reordering.
+func BenchmarkFig13OfoTimeoutThroughput(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Figure 14: 10KB RPC p99 vs ofo_timeout with 0.1% drops.
+func BenchmarkFig14OfoTimeoutLatency(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Figure 15: 99th percentile of active flows vs concurrent flows.
+func BenchmarkFig15ActiveFlows(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Figure 16: active-list statistics under realistic Clos reordering.
+func BenchmarkFig16ActiveListHistogram(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Figure 18: achieved vs guaranteed bandwidth sweep.
+func BenchmarkFig18BandwidthGuaranteeSweep(b *testing.B) { benchExperiment(b, "fig18") }
+
+// Figure 20: RPC tail latency under ECMP / per-TSO / per-packet balancing.
+func BenchmarkFig20LoadBalancing(b *testing.B) { benchExperiment(b, "fig20") }
+
+// §5.2.1 text: throughput vs ofo_timeout at 0.1% loss.
+func BenchmarkLossOfoTimeoutThroughput(b *testing.B) { benchExperiment(b, "lossofo") }
+
+// §3.1: linked-list vs frags[] merge CPU cost.
+func BenchmarkLinkedListAblation(b *testing.B) { benchExperiment(b, "abl-linkedlist") }
+
+// Remark 1: build-up phase seq_next learning.
+func BenchmarkBuildUpAblation(b *testing.B) { benchExperiment(b, "abl-buildup") }
+
+// §4.3: eviction policy and gro_table size.
+func BenchmarkEvictionAblation(b *testing.B) { benchExperiment(b, "abl-eviction") }
+
+// ---- Micro-benchmarks of the hot paths ----
+
+var benchFlow = packet.FiveTuple{SrcIP: 10, DstIP: 20, SrcPort: 30, DstPort: 40, Proto: packet.ProtoTCP}
+
+// BenchmarkFiveTupleHash measures the RSS/ECMP hash.
+func BenchmarkFiveTupleHash(b *testing.B) {
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= benchFlow.Hash(uint32(i))
+	}
+	_ = acc
+}
+
+// BenchmarkJugglerInOrder measures Juggler's fast path: in-sequence
+// packets merging into the head segment.
+func BenchmarkJugglerInOrder(b *testing.B) {
+	s := sim.New(1)
+	n := 0
+	j := core.New(s, core.DefaultConfig(), func(seg *packet.Segment) { n++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := uint32(0)
+	for i := 0; i < b.N; i++ {
+		j.Receive(&packet.Packet{Flow: benchFlow, Seq: seq, PayloadLen: units.MSS, Flags: packet.FlagACK})
+		seq += units.MSS
+	}
+	_ = n
+}
+
+// BenchmarkJugglerReordered measures the OOO path: every other packet
+// displaced by one position.
+func BenchmarkJugglerReordered(b *testing.B) {
+	s := sim.New(1)
+	j := core.New(s, core.DefaultConfig(), func(seg *packet.Segment) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 2 {
+		// Swap each adjacent pair: 1,0,3,2,...
+		a := uint32((i + 1) * units.MSS)
+		bb := uint32(i * units.MSS)
+		j.Receive(&packet.Packet{Flow: benchFlow, Seq: a, PayloadLen: units.MSS, Flags: packet.FlagACK})
+		j.Receive(&packet.Packet{Flow: benchFlow, Seq: bb, PayloadLen: units.MSS, Flags: packet.FlagACK})
+	}
+}
+
+// BenchmarkVanillaGROInOrder is the baseline merge path.
+func BenchmarkVanillaGROInOrder(b *testing.B) {
+	g := gro.NewVanilla(func(seg *packet.Segment) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	seq := uint32(0)
+	for i := 0; i < b.N; i++ {
+		g.Receive(&packet.Packet{Flow: benchFlow, Seq: seq, PayloadLen: units.MSS, Flags: packet.FlagACK})
+		seq += units.MSS
+	}
+}
+
+// BenchmarkSimEventLoop measures raw discrete-event throughput.
+func BenchmarkSimEventLoop(b *testing.B) {
+	s := sim.New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.Schedule(time.Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	s.Schedule(0, tick)
+	s.Run()
+}
+
+// BenchmarkEndToEnd10G measures full-stack simulation speed: simulated
+// bytes through the complete pipeline (TCP+NIC+fabric+Juggler) per bench
+// op (one op = 1ms of simulated 10G traffic).
+func BenchmarkEndToEnd10G(b *testing.B) {
+	p := NewReorderPair(ReorderPairConfig{
+		Rate: Rate10G, ReorderDelay: 250 * time.Microsecond,
+		Receiver: StackJuggler, Seed: 5,
+	})
+	f := p.AddBulkFlow(0)
+	p.Run(20 * time.Millisecond) // warm up slow start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(time.Millisecond)
+	}
+	b.StopTimer()
+	if f.Delivered() == 0 {
+		b.Fatal("no progress")
+	}
+	b.ReportMetric(float64(f.Delivered())/float64(b.N), "simbytes/op")
+}

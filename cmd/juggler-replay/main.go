@@ -1,0 +1,202 @@
+// Command juggler-replay feeds a textual packet trace through a standalone
+// Juggler instance and reports what it delivered — a scalpel for studying
+// the algorithm's decisions on a precise arrival pattern.
+//
+// Trace format: one packet per line,
+//
+//	<time> <flow> <seq> <len> [flags]
+//
+// where <time> is an offset like 12us or 1.5ms, <flow> is any label,
+// <seq>/<len> are byte offsets/counts, and [flags] is an optional
+// combination of P (PSH), F (FIN), A (pure ACK, len ignored). Blank lines
+// and lines starting with '#' are skipped.
+//
+// Example (a Figure-6 build-up scenario):
+//
+//	$ cat fig6.trace
+//	# packets 3, 5, 2 of flow a arrive out of order
+//	0us   a  4380 1460
+//	1us   a  7300 1460
+//	2us   a  2920 1460
+//	$ juggler-replay -inseq 15us -ofo 50us fig6.trace
+//
+// With no file, the trace is read from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/trace"
+)
+
+func main() {
+	inseq := flag.Duration("inseq", 15*time.Microsecond, "inseq_timeout")
+	ofo := flag.Duration("ofo", 50*time.Microsecond, "ofo_timeout")
+	maxFlows := flag.Int("maxflows", 64, "gro_table size")
+	noLearn := flag.Bool("nolearn", false, "disable build-up seq_next learning (Remark 1 ablation)")
+	drain := flag.Duration("drain", 10*time.Millisecond, "time to run after the last packet")
+	events := flag.Bool("events", false, "dump the internal event trace too")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "juggler-replay:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	pkts, err := parseTrace(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-replay:", err)
+		os.Exit(1)
+	}
+	if len(pkts) == 0 {
+		fmt.Fprintln(os.Stderr, "juggler-replay: empty trace")
+		os.Exit(1)
+	}
+
+	s := sim.New(1)
+	cfg := core.Config{
+		InseqTimeout:           *inseq,
+		OfoTimeout:             *ofo,
+		MaxFlows:               *maxFlows,
+		DisableBuildUpLearning: *noLearn,
+	}
+	j := core.New(s, cfg, func(seg *packet.Segment) {
+		fmt.Printf("%12v  DELIVER %-8s seq=%-8d len=%-7d pkts=%-3d %v\n",
+			time.Duration(s.Now()), flowName(seg.Flow), seg.Seq, seg.Bytes, seg.Pkts, seg.Flags)
+	})
+	j.Trace = trace.New(s, 4096)
+
+	var last time.Duration
+	for _, tp := range pkts {
+		tp := tp
+		s.Schedule(tp.at, func() {
+			fmt.Printf("%12v  arrive  %-8s seq=%-8d len=%-7d %v\n",
+				tp.at, flowName(tp.pkt.Flow), tp.pkt.Seq, tp.pkt.PayloadLen, tp.pkt.Flags)
+			j.Receive(&tp.pkt)
+		})
+		if tp.at > last {
+			last = tp.at
+		}
+	}
+	// Poll completions pace the timeout checks, as in the NIC.
+	tick := sim.NewTicker(s, 5*time.Microsecond, j.PollComplete)
+	tick.Start()
+	s.RunFor(last + *drain)
+	tick.Stop()
+
+	fmt.Println()
+	st := j.Stats
+	fmt.Printf("flows tracked     %d (active %d, inactive %d, loss %d)\n",
+		j.TableLen(), j.ActiveLen(), j.InactiveLen(), j.LossLen())
+	fmt.Printf("flush reasons     event=%d inseq_timeout=%d ofo_timeout=%d evict=%d\n",
+		st.FlushEvent, st.FlushInseqTimeout, st.FlushOfoTimeout, st.FlushEvict)
+	fmt.Printf("pass-throughs     retransmissions=%d duplicates=%d\n",
+		st.Retransmissions, st.Duplicates)
+	fmt.Printf("loss inferences   ofo_timeouts=%d (entered=%d exited=%d)\n",
+		st.OfoTimeouts, st.LossRecoveryEntered, st.LossRecoveryExited)
+	fmt.Printf("evictions         inactive=%d active=%d loss=%d\n",
+		st.EvictionsInactive, st.EvictionsActive, st.EvictionsLoss)
+	fmt.Printf("buffered now      %d bytes\n", j.BufferedBytes())
+	if *events {
+		fmt.Println("\n-- event trace --")
+		j.Trace.Dump(os.Stdout)
+	}
+}
+
+// timedPacket is one parsed trace line.
+type timedPacket struct {
+	at  time.Duration
+	pkt packet.Packet
+}
+
+// flowNames maps labels to synthetic five-tuples deterministically.
+var (
+	flowIDs   = map[string]packet.FiveTuple{}
+	flowNames = map[packet.FiveTuple]string{}
+)
+
+func flowFor(label string) packet.FiveTuple {
+	if ft, ok := flowIDs[label]; ok {
+		return ft
+	}
+	ft := packet.FiveTuple{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: uint16(20000 + len(flowIDs)), DstPort: 5001,
+		Proto: packet.ProtoTCP,
+	}
+	flowIDs[label] = ft
+	flowNames[ft] = label
+	return ft
+}
+
+func flowName(ft packet.FiveTuple) string {
+	if n, ok := flowNames[ft]; ok {
+		return n
+	}
+	return ft.String()
+}
+
+// parseTrace reads the trace format described in the package comment.
+func parseTrace(f *os.File) ([]timedPacket, error) {
+	var out []timedPacket
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("line %d: want <time> <flow> <seq> <len> [flags]", lineNo)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad time %q: %v", lineNo, fields[0], err)
+		}
+		seq, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad seq %q", lineNo, fields[2])
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("line %d: bad len %q", lineNo, fields[3])
+		}
+		p := packet.Packet{
+			Flow: flowFor(fields[1]), Seq: uint32(seq), PayloadLen: n,
+			Flags: packet.FlagACK,
+		}
+		if len(fields) > 4 {
+			for _, c := range fields[4] {
+				switch c {
+				case 'P':
+					p.Flags |= packet.FlagPSH
+				case 'F':
+					p.Flags |= packet.FlagFIN
+				case 'A':
+					p.PayloadLen = 0
+				default:
+					return nil, fmt.Errorf("line %d: unknown flag %q", lineNo, c)
+				}
+			}
+		}
+		out = append(out, timedPacket{at: at, pkt: p})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"juggler/internal/packet"
+)
+
+func writeTrace(t *testing.T, content string) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestParseTraceBasic(t *testing.T) {
+	f := writeTrace(t, `
+# comment and blank lines are skipped
+
+0us   a  4380 1460
+1.5us b  0    100   P
+2us   a  0    0     A
+`)
+	pkts, err := parseTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 3 {
+		t.Fatalf("parsed %d packets", len(pkts))
+	}
+	if pkts[0].pkt.Seq != 4380 || pkts[0].pkt.PayloadLen != 1460 {
+		t.Fatalf("first packet = %+v", pkts[0].pkt)
+	}
+	if pkts[0].pkt.Flow == pkts[1].pkt.Flow {
+		t.Fatal("labels a and b must map to distinct flows")
+	}
+	if pkts[0].pkt.Flow != pkts[2].pkt.Flow {
+		t.Fatal("repeated label a must map to the same flow")
+	}
+	if !pkts[1].pkt.Flags.Has(packet.FlagPSH) {
+		t.Fatal("P flag should set PSH")
+	}
+	if pkts[2].pkt.PayloadLen != 0 {
+		t.Fatal("A flag should zero the payload")
+	}
+	if pkts[1].at != 1500 {
+		t.Fatalf("time parse = %v", pkts[1].at)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0us a 1",         // too few fields
+		"xyz a 1 1",       // bad time
+		"0us a notanum 1", // bad seq
+		"0us a 1 notanum", // bad len
+		"0us a 1 1 Z",     // unknown flag
+	} {
+		f := writeTrace(t, bad)
+		if _, err := parseTrace(f); err == nil {
+			t.Fatalf("line %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestFlowNameRoundTrip(t *testing.T) {
+	ft := flowFor("roundtrip")
+	if flowName(ft) != "roundtrip" {
+		t.Fatalf("name = %q", flowName(ft))
+	}
+	unknown := packet.FiveTuple{SrcIP: 1, DstIP: 2}
+	if flowName(unknown) == "" {
+		t.Fatal("unknown flows should fall back to the tuple string")
+	}
+}

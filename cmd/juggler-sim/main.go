@@ -1,0 +1,120 @@
+// Command juggler-sim runs one ad-hoc simulation on the two-host
+// reordering apparatus and prints throughput, CPU, batching, and flow-table
+// statistics — a quick way to explore how a stack behaves under a given
+// amount of reordering.
+//
+// Usage:
+//
+//	juggler-sim [flags]
+//
+// Examples:
+//
+//	# vanilla GRO vs 500us of reordering
+//	juggler-sim -stack vanilla -reorder 500us
+//
+//	# Juggler with a deliberately small ofo_timeout
+//	juggler-sim -stack juggler -reorder 500us -ofo 100us
+//
+//	# 64 concurrent flows with 0.1% loss
+//	juggler-sim -flows 64 -reorder 250us -drop 0.001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"juggler"
+)
+
+func main() {
+	stack := flag.String("stack", "juggler", "receiver stack: juggler | vanilla | linkedlist | none")
+	rateG := flag.Int("rate", 10, "link rate in Gb/s")
+	reorder := flag.Duration("reorder", 500*time.Microsecond, "reordering delay tau (0 = in order)")
+	drop := flag.Float64("drop", 0, "receiver-side drop probability")
+	inseq := flag.Duration("inseq", 0, "Juggler inseq_timeout (0 = rate default)")
+	ofo := flag.Duration("ofo", 0, "Juggler ofo_timeout (0 = 50us default)")
+	maxFlows := flag.Int("maxflows", 64, "Juggler gro_table size")
+	flows := flag.Int("flows", 1, "number of concurrent bulk flows")
+	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration (after 50ms warm-up)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	traceN := flag.Int("trace", 0, "dump the last N Juggler events after the run (0 = off)")
+	flag.Parse()
+
+	var kind juggler.Stack
+	switch *stack {
+	case "juggler":
+		kind = juggler.StackJuggler
+	case "vanilla":
+		kind = juggler.StackVanilla
+	case "linkedlist":
+		kind = juggler.StackLinkedList
+	case "none":
+		kind = juggler.StackNone
+	default:
+		fmt.Fprintf(os.Stderr, "juggler-sim: unknown stack %q\n", *stack)
+		os.Exit(2)
+	}
+
+	rate := juggler.Rate(*rateG) * juggler.Gbps
+	tun := juggler.DefaultTuning(rate)
+	if *inseq > 0 {
+		tun.InseqTimeout = *inseq
+	}
+	if *ofo > 0 {
+		tun.OfoTimeout = *ofo
+	}
+	tun.MaxFlows = *maxFlows
+
+	p := juggler.NewReorderPair(juggler.ReorderPairConfig{
+		Rate: rate, ReorderDelay: *reorder, DropProb: *drop,
+		Receiver: kind, Tuning: tun, Seed: *seed,
+	})
+	if *traceN > 0 {
+		p.EnableTrace(*traceN)
+	}
+	fs := make([]*juggler.Flow, *flows)
+	var pace juggler.Rate
+	if *flows > 1 {
+		pace = rate / juggler.Rate(*flows)
+	}
+	for i := range fs {
+		fs[i] = p.AddBulkFlow(pace)
+	}
+
+	p.Run(50 * time.Millisecond)
+	for _, f := range fs {
+		f.Throughput() // reset windows
+	}
+	p.Run(*dur)
+
+	var total juggler.Rate
+	for _, f := range fs {
+		total += f.Throughput()
+	}
+	st := p.ReceiverStats()
+
+	fmt.Printf("stack            %s\n", kind)
+	fmt.Printf("reordering       %v (drop %.3g%%)\n", *reorder, *drop*100)
+	fmt.Printf("throughput       %v of %v\n", total, rate)
+	fmt.Printf("batching         %.1f MTUs/segment\n", st.BatchingMTUs)
+	fmt.Printf("rx core          %.1f%%\n", st.RXCoreUtil*100)
+	fmt.Printf("app core         %.1f%%\n", st.AppCoreUtil*100)
+	ooo := 0.0
+	if st.SegmentsIn > 0 {
+		ooo = float64(st.OOOSegments) / float64(st.SegmentsIn) * 100
+	}
+	fmt.Printf("tcp segments     %d (%.1f%% out of order)\n", st.SegmentsIn, ooo)
+	fmt.Printf("acks sent        %d\n", st.AcksSent)
+	if kind == juggler.StackJuggler {
+		fmt.Printf("active flows     %d (table bound %d)\n", st.ActiveFlows, tun.MaxFlows)
+	}
+	if st.DroppedSegments > 0 {
+		fmt.Printf("backlog drops    %d\n", st.DroppedSegments)
+	}
+	if *traceN > 0 {
+		fmt.Println("\n-- juggler event trace (most recent) --")
+		fmt.Println(p.DumpTrace(os.Stdout))
+	}
+}

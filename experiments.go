@@ -1,0 +1,62 @@
+package juggler
+
+import (
+	"encoding/csv"
+	"io"
+
+	"juggler/internal/experiments"
+)
+
+// Report is one experiment's regenerated table: the same rows/series the
+// paper plots for that figure.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	t := experiments.Table{ID: r.ID, Title: r.Title, Columns: r.Columns,
+		Rows: r.Rows, Notes: r.Notes}
+	t.Fprint(w)
+}
+
+// WriteCSV emits the report as CSV (header row first).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Experiments lists the available experiment IDs (fig1, fig9, fig10,
+// fig12..fig16, fig18, fig20, latency, lossofo, abl-*).
+func Experiments() []string { return experiments.IDs() }
+
+// DescribeExperiment returns an experiment's one-line description.
+func DescribeExperiment(id string) string { return experiments.Describe(id) }
+
+// RunExperiment regenerates one table/figure of the paper's evaluation.
+// quick shrinks sweeps and durations ~10x for smoke runs. It returns nil
+// for unknown IDs.
+func RunExperiment(id string, seed int64, quick bool) *Report {
+	if seed == 0 {
+		seed = 1
+	}
+	t := experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+	if t == nil {
+		return nil
+	}
+	return &Report{ID: t.ID, Title: t.Title, Columns: t.Columns,
+		Rows: t.Rows, Notes: t.Notes}
+}

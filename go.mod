@@ -1,0 +1,3 @@
+module juggler
+
+go 1.22

@@ -1,0 +1,114 @@
+// Package bwguard implements the paper's novel bandwidth-guarantee
+// mechanism (§2.1, §5.3.1): a passive sender module that marks a flow's
+// packets high priority with probability p, adapting p by the control law
+//
+//	p <- p + alpha * (Rt - Rm)
+//
+// where Rt is the target (guaranteed) rate and Rm the measured rate, both
+// normalized to line rate. When the flow runs below its guarantee, more of
+// its packets ride the strict-priority high class, raising its share —
+// with no rate limiting, no hypervisor layer, and only two priority levels
+// in the network. The induced reordering is what Juggler absorbs.
+package bwguard
+
+import (
+	"math/rand"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/tcp"
+	"juggler/internal/units"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Target is the guaranteed bandwidth Rt.
+	Target units.BitRate
+	// LineRate normalizes rates in the control law (§5.3.1 normalizes "to
+	// the line rate").
+	LineRate units.BitRate
+	// Alpha is the gain factor (0.1 in the paper's experiment).
+	Alpha float64
+	// Period is the adaptation interval; the measured rate is averaged
+	// over it. The paper measures on every ACK and adapts periodically.
+	Period time.Duration
+}
+
+// DefaultConfig mirrors the paper's experiment: alpha 0.1, 100us period.
+func DefaultConfig(target, line units.BitRate) Config {
+	return Config{Target: target, LineRate: line, Alpha: 0.1, Period: 100 * time.Microsecond}
+}
+
+// Controller adapts a sender's high-priority marking probability.
+type Controller struct {
+	sim *sim.Sim
+	cfg Config
+	rng *rand.Rand
+
+	p           float64
+	ackedBytes  int64
+	lastMeasure sim.Time
+	ticker      *sim.Ticker
+
+	// MeasuredRate is the last window's achieved rate (for reporting).
+	MeasuredRate units.BitRate
+	// HighMarked / TotalMarked count marking decisions.
+	HighMarked, TotalMarked int64
+}
+
+// Attach creates a controller and wires it into the sender: it becomes the
+// sender's rate observer and priority marker, and starts its adaptation
+// ticker.
+func Attach(s *sim.Sim, cfg Config, snd *tcp.Sender) *Controller {
+	if cfg.Alpha <= 0 || cfg.Period <= 0 || cfg.LineRate <= 0 {
+		panic("bwguard: invalid config")
+	}
+	c := &Controller{sim: s, cfg: cfg, rng: s.Rand(), lastMeasure: s.Now()}
+	snd.OnAckedBytes = c.onAcked
+	snd.Mark = c.mark
+	c.ticker = sim.NewTicker(s, cfg.Period, c.adapt)
+	c.ticker.Start()
+	return c
+}
+
+// P returns the current marking probability.
+func (c *Controller) P() float64 { return c.p }
+
+// Stop halts adaptation (teardown).
+func (c *Controller) Stop() { c.ticker.Stop() }
+
+func (c *Controller) onAcked(n int) { c.ackedBytes += int64(n) }
+
+// mark decides one burst's priority.
+func (c *Controller) mark() packet.Priority {
+	c.TotalMarked++
+	if c.rng.Float64() < c.p {
+		c.HighMarked++
+		return packet.PrioHigh
+	}
+	return packet.PrioLow
+}
+
+// adapt runs the Eq. (1) control law once per period.
+func (c *Controller) adapt() {
+	now := c.sim.Now()
+	wall := now.Sub(c.lastMeasure)
+	if wall <= 0 {
+		return
+	}
+	rm := float64(c.ackedBytes*8) / wall.Seconds()
+	c.MeasuredRate = units.BitRate(rm)
+	c.ackedBytes = 0
+	c.lastMeasure = now
+
+	rt := float64(c.cfg.Target)
+	line := float64(c.cfg.LineRate)
+	c.p += c.cfg.Alpha * (rt - rm) / line
+	if c.p < 0 {
+		c.p = 0
+	}
+	if c.p > 1 {
+		c.p = 1
+	}
+}

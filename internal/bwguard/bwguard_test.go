@@ -1,0 +1,129 @@
+package bwguard
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/tcp"
+	"juggler/internal/units"
+)
+
+var flow = packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 80, Proto: packet.ProtoTCP}
+
+// nullPS discards transmissions (controller unit tests drive acks by hand).
+type nullPS struct{}
+
+func (nullPS) SendTSO(packet.Packet, uint32, int) {}
+func (nullPS) SendRaw(*packet.Packet)             {}
+
+func attach(s *sim.Sim, target units.BitRate) (*Controller, *tcp.Sender) {
+	snd := tcp.NewSender(s, tcp.SenderConfig{}, flow, nullPS{})
+	c := Attach(s, DefaultConfig(target, units.Rate40G), snd)
+	return c, snd
+}
+
+func TestPRisesWhenBelowTarget(t *testing.T) {
+	s := sim.New(1)
+	c, _ := attach(s, 20*units.Gbps)
+	// No acked bytes at all: measured rate 0, p must climb.
+	s.RunFor(2 * time.Millisecond)
+	if c.P() <= 0.5 {
+		t.Fatalf("p = %.3f after 20 periods below target, want > 0.5", c.P())
+	}
+	s.RunFor(3 * time.Millisecond)
+	if c.P() != 1 {
+		t.Fatalf("p should saturate at 1, got %.3f", c.P())
+	}
+}
+
+func TestPFallsWhenAboveTarget(t *testing.T) {
+	s := sim.New(1)
+	c, _ := attach(s, 5*units.Gbps)
+	// Drive measured rate at 40G (line rate): p decreases toward 0.
+	tick := sim.NewTicker(s, 10*time.Microsecond, func() {
+		c.onAcked(int(units.BytesOver(units.Rate40G, 10*time.Microsecond)))
+	})
+	tick.Start()
+	s.RunFor(5 * time.Millisecond)
+	if c.P() != 0 {
+		t.Fatalf("p = %.3f with rate far above target, want 0", c.P())
+	}
+	if c.MeasuredRate < 35*units.Gbps || c.MeasuredRate > 45*units.Gbps {
+		t.Fatalf("measured rate %v, want ~40G", c.MeasuredRate)
+	}
+}
+
+func TestPConvergesNearEquilibrium(t *testing.T) {
+	// Feed back measured rate = p * line rate (idealized strict-priority
+	// response for an uncontended high class): p should settle near
+	// target/line.
+	s := sim.New(1)
+	c, _ := attach(s, 10*units.Gbps)
+	tick := sim.NewTicker(s, 10*time.Microsecond, func() {
+		rate := units.BitRate(c.P() * float64(units.Rate40G))
+		c.onAcked(int(units.BytesOver(rate, 10*time.Microsecond)))
+	})
+	tick.Start()
+	s.RunFor(20 * time.Millisecond)
+	got := c.P()
+	want := 0.25 // 10G / 40G
+	if got < want-0.1 || got > want+0.1 {
+		t.Fatalf("p = %.3f, want ~%.2f", got, want)
+	}
+}
+
+func TestMarkingProbabilityMatchesP(t *testing.T) {
+	s := sim.New(7)
+	c, snd := attach(s, 20*units.Gbps)
+	s.RunFor(10 * time.Millisecond) // p saturates to 1 (no acks)
+	if c.P() != 1 {
+		t.Fatalf("setup: p = %v", c.P())
+	}
+	for i := 0; i < 100; i++ {
+		if snd.Mark() != packet.PrioHigh {
+			t.Fatal("p=1 must always mark high")
+		}
+	}
+	if c.HighMarked != 100 || c.TotalMarked != 100 {
+		t.Fatalf("marking counters %d/%d", c.HighMarked, c.TotalMarked)
+	}
+}
+
+func TestMarkingMixedAtFractionalP(t *testing.T) {
+	s := sim.New(7)
+	c, snd := attach(s, 20*units.Gbps)
+	c.p = 0.3
+	high := 0
+	for i := 0; i < 10000; i++ {
+		if snd.Mark() == packet.PrioHigh {
+			high++
+		}
+	}
+	frac := float64(high) / 10000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("high fraction %.3f, want ~0.30", frac)
+	}
+}
+
+func TestStopHaltsAdaptation(t *testing.T) {
+	s := sim.New(1)
+	c, _ := attach(s, 20*units.Gbps)
+	s.RunFor(time.Millisecond)
+	c.Stop()
+	p := c.P()
+	s.RunFor(5 * time.Millisecond)
+	if c.P() != p {
+		t.Fatal("p changed after Stop")
+	}
+}
+
+func TestPClampedToUnitRange(t *testing.T) {
+	s := sim.New(1)
+	c, _ := attach(s, 40*units.Gbps) // target = line
+	s.RunFor(50 * time.Millisecond)
+	if c.P() < 0 || c.P() > 1 {
+		t.Fatalf("p = %v out of [0,1]", c.P())
+	}
+}

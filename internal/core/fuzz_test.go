@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// FuzzJugglerReceive drives a Juggler instance with an arbitrary packet
+// program: each input byte triple encodes (flow, seq-slot, op). The
+// invariants checked are the ones the design promises no matter the input:
+// bookkeeping consistency, bounded state, and byte conservation.
+func FuzzJugglerReceive(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 1, 5, 2})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0}) // duplicates
+	f.Fuzz(func(t *testing.T, program []byte) {
+		s := sim.New(1)
+		cfg := Config{
+			InseqTimeout: 15 * time.Microsecond,
+			OfoTimeout:   50 * time.Microsecond,
+			MaxFlows:     4,
+		}
+		delivered := 0
+		j := New(s, cfg, func(seg *packet.Segment) { delivered += seg.Bytes })
+		sent := 0
+		for i := 0; i+2 < len(program); i += 3 {
+			fl, slot, op := program[i], program[i+1], program[i+2]
+			p := &packet.Packet{
+				Flow: packet.FiveTuple{
+					SrcIP: uint32(fl%5) + 1, DstIP: 2,
+					SrcPort: uint16(fl % 5), DstPort: 80, Proto: packet.ProtoTCP,
+				},
+				Seq:        1 + uint32(slot%32)*units.MSS,
+				PayloadLen: units.MSS,
+				Flags:      packet.FlagACK,
+			}
+			switch op % 4 {
+			case 1:
+				p.Flags |= packet.FlagPSH
+			case 2:
+				p.OptSig = uint32(op)
+			case 3:
+				s.RunFor(time.Duration(op) * time.Microsecond)
+			}
+			j.Receive(p)
+			sent += p.PayloadLen
+			j.checkInvariants()
+			if j.BufferedBytes() > cfg.MaxFlows*units.TSOMaxBytes {
+				t.Fatalf("buffered %d bytes beyond the MaxFlows*64KB bound", j.BufferedBytes())
+			}
+		}
+		s.RunFor(time.Millisecond)
+		j.checkInvariants()
+		j.Flush()
+		if delivered != sent {
+			t.Fatalf("delivered %d of %d bytes", delivered, sent)
+		}
+	})
+}
+
+// FuzzOOOQueue checks the sorted-queue invariants under arbitrary insert
+// orders, including overlapping-by-construction slots.
+func FuzzOOOQueue(f *testing.F) {
+	f.Add([]byte{3, 5, 2, 1, 4})
+	f.Add([]byte{0, 0, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, slots []byte) {
+		var q oooQueue
+		seen := map[byte]bool{}
+		bytes := 0
+		for _, slot := range slots {
+			slot %= 64
+			res, _ := q.insert(&packet.Packet{
+				Flow: testFlow, Seq: 1 + uint32(slot)*units.MSS,
+				PayloadLen: units.MSS, Flags: packet.FlagACK,
+			})
+			if seen[slot] != (res == insDuplicate) {
+				t.Fatalf("slot %d: duplicate detection wrong (seen=%v res=%v)", slot, seen[slot], res)
+			}
+			if !seen[slot] {
+				bytes += units.MSS
+			}
+			seen[slot] = true
+			for i := 1; i < len(q.segs); i++ {
+				a, b := q.segs[i-1], q.segs[i]
+				if !packet.SeqLess(a.Seq, b.Seq) || packet.SeqLess(b.Seq, a.EndSeq()) {
+					t.Fatalf("queue order/overlap violated at %d", i)
+				}
+			}
+		}
+		if q.bytes() != bytes {
+			t.Fatalf("queue holds %d bytes, want %d", q.bytes(), bytes)
+		}
+	})
+}

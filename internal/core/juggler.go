@@ -1,0 +1,662 @@
+// Package core implements Juggler, the paper's contribution: a reordering
+// resilient extension of the GRO layer (§4).
+//
+// Juggler keeps a small table of recently active flows (gro_table). For
+// each flow it buffers out-of-order packets in a sorted queue, merges
+// contiguous runs into large segments, and flushes segments up the stack
+// in a best-effort in-order fashion, governed by two timeouts:
+//
+//   - inseq_timeout bounds how long in-sequence packets may be held for
+//     batching (CPU efficiency vs. latency);
+//   - ofo_timeout bounds how long a flow may wait for a missing packet
+//     before it is presumed lost (reordering resilience vs. loss-recovery
+//     delay).
+//
+// Flows move through five phases — build-up, active merging, post merge,
+// loss recovery (plus the transient initial phase) — and live on one of
+// three lists (active, inactive, loss recovery) that drive the aggressive
+// eviction policy bounding memory (§4.3).
+package core
+
+import (
+	"time"
+
+	"juggler/internal/gro"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/trace"
+	"juggler/internal/units"
+)
+
+// Phase is a flow's position in the Juggler life cycle (Figure 5).
+type Phase uint8
+
+// The flow phases of §4.2. The transient initial phase (first packet of an
+// unknown flow) immediately becomes PhaseBuildUp and is not represented.
+const (
+	PhaseBuildUp Phase = iota
+	PhaseActiveMerge
+	PhasePostMerge
+	PhaseLossRecovery
+)
+
+// String names the phase for traces and tests.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBuildUp:
+		return "build-up"
+	case PhaseActiveMerge:
+		return "active-merge"
+	case PhasePostMerge:
+		return "post-merge"
+	case PhaseLossRecovery:
+		return "loss-recovery"
+	}
+	return "?"
+}
+
+// EvictionPolicy selects which flows may be evicted when gro_table is full.
+type EvictionPolicy uint8
+
+const (
+	// EvictInactiveFirst is the paper's policy: evict post-merge flows
+	// first (their queues are empty and hole-free), then active flows in
+	// FIFO order, and loss-recovery flows only as a last resort.
+	EvictInactiveFirst EvictionPolicy = iota
+	// EvictFIFO ignores phases and evicts the oldest flow regardless of
+	// list — the §4.3 ablation showing why phase-aware eviction matters.
+	EvictFIFO
+)
+
+// Config tunes a Juggler instance. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// InseqTimeout is the maximum time in-sequence packets are held for
+	// batching. Rule of thumb (§5.2.1): the time to receive a maximum
+	// batch (64 KB) at line rate — 52us at 10G, 13us at 40G.
+	InseqTimeout time.Duration
+
+	// OfoTimeout is the maximum time to wait for a missing packet before
+	// flushing the out-of-order queue and presuming loss. Set it to the
+	// expected maximum delay difference across paths, minus the interrupt
+	// coalescing period (§5.2.1).
+	OfoTimeout time.Duration
+
+	// MaxFlows bounds gro_table. §5.2.2: 8 entries suffice for per-packet
+	// load balancing; 64 cover up to 1 ms of reordering.
+	MaxFlows int
+
+	// DisableBuildUpLearning turns off the build-up phase's backward
+	// seq_next learning (Remark 1 ablation): the first packet's sequence
+	// number is frozen as the flush floor immediately.
+	DisableBuildUpLearning bool
+
+	// Eviction selects the eviction policy (ablation hook).
+	Eviction EvictionPolicy
+}
+
+// DefaultConfig returns the paper's default tuning: inseq_timeout 15us,
+// ofo_timeout 50us (§5), and a 64-entry table.
+func DefaultConfig() Config {
+	return Config{
+		InseqTimeout: 15 * time.Microsecond,
+		OfoTimeout:   50 * time.Microsecond,
+		MaxFlows:     64,
+	}
+}
+
+// Stats exposes Juggler's internal event counters for the evaluation.
+type Stats struct {
+	// FlushEvent counts segments flushed by event-driven conditions
+	// (64 KB reached, terminating flags, merge-boundary).
+	FlushEvent int64
+	// FlushInseqTimeout counts segments flushed by inseq_timeout.
+	FlushInseqTimeout int64
+	// FlushOfoTimeout counts segments flushed by ofo_timeout expiry.
+	FlushOfoTimeout int64
+	// FlushEvict counts segments flushed because their flow was evicted.
+	FlushEvict int64
+	// Retransmissions counts packets passed through immediately because
+	// their sequence number was before seq_next (Table 2, row 1).
+	Retransmissions int64
+	// Duplicates counts packets whose range was already buffered.
+	Duplicates int64
+	// OfoTimeouts counts ofo_timeout expirations (loss inferences).
+	OfoTimeouts int64
+	// Evictions counts flows evicted, by the phase they were in.
+	EvictionsInactive, EvictionsActive, EvictionsLoss int64
+	// LossRecoveryEntered / Exited count loss-list transitions.
+	LossRecoveryEntered, LossRecoveryExited int64
+	// BuildUpBackward counts seq_next backward moves learned in build-up.
+	BuildUpBackward int64
+}
+
+// flowEntry is the per-flow state of §4.1 plus intrusive list linkage.
+type flowEntry struct {
+	key            packet.FiveTuple
+	ooo            oooQueue
+	flushTimestamp sim.Time
+	// holdStart anchors the timeout clocks: the later of the last flush
+	// and the instant the queue went from empty to non-empty. Using the
+	// raw flush timestamp would spuriously expire a freshly reactivated
+	// flow whose last flush was long ago.
+	holdStart sim.Time
+	seqNext   uint32
+	lostSeq   uint32
+	phase     Phase
+
+	prev, next *flowEntry
+	list       *flowList
+}
+
+// flowList is an intrusive FIFO doubly-linked list (the active, inactive
+// and loss-recovery lists of Figure 4).
+type flowList struct {
+	head, tail *flowEntry
+	n          int
+}
+
+func (l *flowList) pushBack(e *flowEntry) {
+	if e.list != nil {
+		panic("core: flow already on a list")
+	}
+	e.list = l
+	e.prev = l.tail
+	e.next = nil
+	if l.tail != nil {
+		l.tail.next = e
+	} else {
+		l.head = e
+	}
+	l.tail = e
+	l.n++
+}
+
+func (l *flowList) remove(e *flowEntry) {
+	if e.list != l {
+		panic("core: flow not on this list")
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next, e.list = nil, nil, nil
+	l.n--
+}
+
+// Juggler is one instance of the reordering-resilient GRO layer. Each NIC
+// receive queue owns its own instance ("different RX queues operate
+// independently and have their private data structures", §4).
+type Juggler struct {
+	sim     *sim.Sim
+	cfg     Config
+	deliver gro.Deliver
+
+	table    map[packet.FiveTuple]*flowEntry
+	active   flowList
+	inactive flowList
+	loss     flowList
+
+	timer *sim.Timer
+
+	c     gro.Counters
+	Stats Stats
+
+	// Trace, when non-nil, records flush/buffer/phase/evict/timeout
+	// events (nil = zero overhead beyond one branch per event site).
+	Trace *trace.Ring
+}
+
+// New creates a Juggler instance delivering flushed segments to d.
+func New(s *sim.Sim, cfg Config, d gro.Deliver) *Juggler {
+	if cfg.MaxFlows <= 0 {
+		panic("core: MaxFlows must be positive")
+	}
+	if cfg.InseqTimeout < 0 || cfg.OfoTimeout < 0 {
+		panic("core: negative timeout")
+	}
+	j := &Juggler{sim: s, cfg: cfg, deliver: d, table: map[packet.FiveTuple]*flowEntry{}}
+	j.timer = sim.NewTimer(s, j.onTimer)
+	return j
+}
+
+// Config returns the instance's configuration.
+func (j *Juggler) Config() Config { return j.cfg }
+
+// Counters implements gro.Offload.
+func (j *Juggler) Counters() gro.Counters { return j.c }
+
+// ActiveLen returns the current length of the active list (Figures 15/16).
+func (j *Juggler) ActiveLen() int { return j.active.n }
+
+// InactiveLen returns the current length of the inactive list.
+func (j *Juggler) InactiveLen() int { return j.inactive.n }
+
+// LossLen returns the current length of the loss recovery list.
+func (j *Juggler) LossLen() int { return j.loss.n }
+
+// TableLen returns the number of tracked flows.
+func (j *Juggler) TableLen() int { return len(j.table) }
+
+// BufferedBytes returns the total payload bytes currently held across all
+// out-of-order queues — the memory the §3.3 DoS analysis bounds.
+func (j *Juggler) BufferedBytes() int {
+	n := 0
+	for _, e := range j.table {
+		n += e.ooo.bytes()
+	}
+	return n
+}
+
+// checkInvariants panics if the internal bookkeeping is inconsistent:
+// every tracked flow on exactly one list matching its phase, list lengths
+// in agreement with the table, and the table within its bound. Tests call
+// it after every operation; it is not used on the hot path.
+func (j *Juggler) checkInvariants() {
+	count := func(l *flowList) int {
+		n := 0
+		for e := l.head; e != nil; e = e.next {
+			n++
+		}
+		return n
+	}
+	if count(&j.active) != j.active.n || count(&j.inactive) != j.inactive.n ||
+		count(&j.loss) != j.loss.n {
+		panic("core: list length bookkeeping out of sync")
+	}
+	if j.active.n+j.inactive.n+j.loss.n != len(j.table) {
+		panic("core: lists and table disagree")
+	}
+	if len(j.table) > j.cfg.MaxFlows {
+		panic("core: table exceeds MaxFlows")
+	}
+	for _, e := range j.table {
+		var want *flowList
+		switch e.phase {
+		case PhaseBuildUp, PhaseActiveMerge:
+			want = &j.active
+		case PhasePostMerge:
+			want = &j.inactive
+		case PhaseLossRecovery:
+			want = &j.loss
+		}
+		if e.list != want {
+			panic("core: flow on the wrong list for its phase")
+		}
+		if e.phase == PhasePostMerge && !e.ooo.empty() {
+			panic("core: post-merge flow holds packets")
+		}
+	}
+}
+
+// Receive implements gro.Offload: one packet within a polling interval.
+func (j *Juggler) Receive(p *packet.Packet) {
+	j.c.Packets++
+	if p.PassThrough() {
+		j.emit(packet.FromPacket(p))
+		return
+	}
+
+	e, ok := j.table[p.Flow]
+	if !ok {
+		// Initial phase (§4.2.1): create the entry, enter build-up.
+		e = j.newFlow(p)
+		j.bufferAndCheck(e, p)
+		return
+	}
+
+	switch e.phase {
+	case PhaseBuildUp:
+		// §4.2.2: seq_next may move backwards while learning.
+		if packet.SeqLess(p.Seq, e.seqNext) {
+			if j.cfg.DisableBuildUpLearning {
+				j.Stats.Retransmissions++
+				j.emit(packet.FromPacket(p))
+				return
+			}
+			e.seqNext = p.Seq
+			j.Stats.BuildUpBackward++
+		}
+		j.bufferAndCheck(e, p)
+
+	default:
+		// §4.2.3: packets before seq_next are inferred retransmissions
+		// and flushed immediately, never buffered (Figure 6).
+		if packet.SeqLess(p.Seq, e.seqNext) {
+			j.Stats.Retransmissions++
+			j.emit(packet.FromPacket(p))
+			if e.phase == PhaseLossRecovery && j.fillsHole(e, p) {
+				j.exitLossRecovery(e)
+			}
+			return
+		}
+		if e.phase == PhasePostMerge {
+			// §4.2.4: reverse transition back to active merging.
+			j.inactive.remove(e)
+			j.active.pushBack(e)
+			e.phase = PhaseActiveMerge
+		}
+		j.bufferAndCheck(e, p)
+	}
+}
+
+// fillsHole reports whether packet p covers the recorded first lost byte.
+func (j *Juggler) fillsHole(e *flowEntry, p *packet.Packet) bool {
+	return packet.SeqLEQ(p.Seq, e.lostSeq) && packet.SeqLess(e.lostSeq, p.EndSeq())
+}
+
+// exitLossRecovery moves a flow back toward active merging once its hole
+// is filled (best effort: only the first hole is tracked, Figure 7).
+func (j *Juggler) exitLossRecovery(e *flowEntry) {
+	j.loss.remove(e)
+	j.Stats.LossRecoveryExited++
+	j.Trace.Add(trace.KindPhase, e.key, e.seqNext, 0, "loss-recovery-exit")
+	if e.ooo.empty() {
+		e.phase = PhasePostMerge
+		j.inactive.pushBack(e)
+	} else {
+		e.phase = PhaseActiveMerge
+		j.active.pushBack(e)
+	}
+}
+
+// newFlow allocates a flow entry (evicting if the table is full), places it
+// on the active list in build-up phase, and records the first packet's
+// sequence number as the initial seq_next estimate.
+func (j *Juggler) newFlow(p *packet.Packet) *flowEntry {
+	if len(j.table) >= j.cfg.MaxFlows {
+		j.evictOne()
+	}
+	e := &flowEntry{
+		key:            p.Flow,
+		seqNext:        p.Seq,
+		phase:          PhaseBuildUp,
+		flushTimestamp: j.sim.Now(),
+		holdStart:      j.sim.Now(),
+	}
+	j.table[p.Flow] = e
+	j.active.pushBack(e)
+	return e
+}
+
+// bufferAndCheck inserts the packet into the flow's out-of-order queue and
+// applies the event-driven flush conditions (Table 2, rows 1-4).
+func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
+	if e.ooo.empty() {
+		e.holdStart = j.sim.Now()
+	}
+	res, fastPath := e.ooo.insert(p)
+	if !fastPath {
+		j.Trace.Add(trace.KindBuffer, p.Flow, p.Seq, p.PayloadLen, e.phase.String())
+		// Only genuine out-of-order queue surgery costs more than the
+		// in-sequence merge standard GRO already performs.
+		j.c.OOOWork++
+	}
+	if res == insDuplicate {
+		j.Stats.Duplicates++
+		j.emit(packet.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
+		return
+	}
+	j.eventFlush(e)
+	j.maybeArmTimer(e)
+}
+
+// eventFlush flushes "closed" in-sequence head segments: a head segment is
+// closed when it is sealed by terminating flags, full (cannot grow by
+// another MSS within 64 KB), or followed by a contiguous-but-unmergeable
+// segment (merge boundary: options/CE change or size limit — Table 2 rows
+// 2-4). The final open segment is left to accumulate until a timeout.
+func (j *Juggler) eventFlush(e *flowEntry) {
+	for {
+		head := e.ooo.head()
+		if head == nil || head.Seq != e.seqNext {
+			return
+		}
+		closed := head.Sealed() || head.Bytes+units.MSS > units.TSOMaxBytes
+		if !closed && e.ooo.len() > 1 && e.ooo.segs[1].Seq == head.EndSeq() {
+			closed = true // boundary: successor is contiguous yet unmerged
+		}
+		if !closed {
+			return
+		}
+		j.flushHead(e, &j.Stats.FlushEvent)
+	}
+}
+
+// flushHead delivers the head segment and advances flow state; reason
+// points at the statistic to increment.
+func (j *Juggler) flushHead(e *flowEntry, reason *int64) {
+	seg := e.ooo.popHead()
+	*reason++
+	j.emitMerged(seg)
+	e.seqNext = seg.EndSeq()
+	e.flushTimestamp = j.sim.Now()
+	e.holdStart = e.flushTimestamp
+	j.afterFlush(e)
+}
+
+// afterFlush applies the phase transitions that follow any flush.
+func (j *Juggler) afterFlush(e *flowEntry) {
+	switch e.phase {
+	case PhaseBuildUp:
+		// First flush ends build-up (§4.2.2 -> §4.2.3).
+		e.phase = PhaseActiveMerge
+		fallthrough
+	case PhaseActiveMerge:
+		if e.ooo.empty() {
+			// §4.2.4: queue drained in sequence -> post merge.
+			j.active.remove(e)
+			j.inactive.pushBack(e)
+			e.phase = PhasePostMerge
+		}
+	case PhaseLossRecovery:
+		// Stays on the loss list until the hole is filled.
+	case PhasePostMerge:
+		panic("core: flush in post-merge phase")
+	}
+}
+
+// emitMerged forwards a flushed segment with batching statistics.
+func (j *Juggler) emitMerged(seg *packet.Segment) {
+	if seg.Pkts > 1 {
+		j.c.MergedPkts += int64(seg.Pkts)
+	}
+	j.Trace.Add(trace.KindFlush, seg.Flow, seg.Seq, seg.Pkts, "")
+	j.emit(seg)
+}
+
+func (j *Juggler) emit(seg *packet.Segment) {
+	j.c.Segments++
+	j.deliver(seg)
+}
+
+// PollComplete implements gro.Offload: timeout conditions are checked at
+// polling completions (§4.2.2), in addition to the high-resolution timer.
+func (j *Juggler) PollComplete() {
+	j.checkTimeouts()
+}
+
+// onTimer is the one high-resolution timer callback per gro_table.
+func (j *Juggler) onTimer() {
+	j.checkTimeouts()
+}
+
+// flowDeadline returns the next timeout instant for a flow, or 0 when it
+// holds nothing.
+func (j *Juggler) flowDeadline(e *flowEntry) sim.Time {
+	head := e.ooo.head()
+	if head == nil {
+		return 0
+	}
+	if head.Seq == e.seqNext {
+		return e.holdStart.Add(j.cfg.InseqTimeout)
+	}
+	return e.holdStart.Add(j.cfg.OfoTimeout)
+}
+
+// maybeArmTimer ensures the timer fires no later than the flow's deadline.
+func (j *Juggler) maybeArmTimer(e *flowEntry) {
+	d := j.flowDeadline(e)
+	if d == 0 {
+		return
+	}
+	if now := j.sim.Now(); d < now {
+		d = now // deadline already passed: fire as soon as possible
+	}
+	if !j.timer.Pending() || d < j.timer.Deadline() {
+		j.timer.ResetAt(d)
+	}
+}
+
+// checkTimeouts applies rows 5 and 6 of Table 2 to every flow holding
+// packets, then re-arms the timer for the earliest remaining deadline.
+func (j *Juggler) checkTimeouts() {
+	now := j.sim.Now()
+	var next sim.Time
+
+	scan := func(l *flowList) {
+		for e := l.head; e != nil; {
+			// The flow may move lists during expiry; capture next first.
+			nxt := e.next
+			j.expireFlow(e, now)
+			if d := j.flowDeadline(e); d != 0 && (next == 0 || d < next) {
+				next = d
+			}
+			e = nxt
+		}
+	}
+	scan(&j.active)
+	scan(&j.loss)
+
+	if next != 0 {
+		if next <= now {
+			next = now + 1 // degenerate zero timeouts: re-fire immediately
+		}
+		if !j.timer.Pending() || next < j.timer.Deadline() {
+			j.timer.ResetAt(next)
+		}
+	}
+}
+
+// expireFlow applies the timeout flushes to one flow at time now.
+func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
+	head := e.ooo.head()
+	if head == nil {
+		return
+	}
+	// Row 5: in-sequence data held longer than inseq_timeout.
+	if head.Seq == e.seqNext && now.Sub(e.holdStart) >= j.cfg.InseqTimeout {
+		for {
+			head = e.ooo.head()
+			if head == nil || head.Seq != e.seqNext {
+				break
+			}
+			j.flushHead(e, &j.Stats.FlushInseqTimeout)
+		}
+	}
+	head = e.ooo.head()
+	if head == nil {
+		return
+	}
+	// Row 6: stuck on a hole longer than ofo_timeout.
+	if head.Seq != e.seqNext && now.Sub(e.holdStart) >= j.cfg.OfoTimeout {
+		j.ofoExpire(e)
+	}
+}
+
+// ofoExpire flushes the entire out-of-order queue and moves the flow to
+// loss recovery (§4.2.5, Figure 7).
+func (j *Juggler) ofoExpire(e *flowEntry) {
+	j.Stats.OfoTimeouts++
+	j.Trace.Add(trace.KindTimeout, e.key, e.seqNext, e.ooo.pkts(), "ofo")
+	firstMissing := e.seqNext
+	for _, seg := range e.ooo.drain() {
+		j.Stats.FlushOfoTimeout++
+		j.emitMerged(seg)
+		e.seqNext = packet.SeqMax(e.seqNext, seg.EndSeq())
+	}
+	e.flushTimestamp = j.sim.Now()
+	e.holdStart = e.flushTimestamp
+
+	switch e.phase {
+	case PhaseLossRecovery:
+		// Best effort: keep the original first hole.
+	case PhaseBuildUp, PhaseActiveMerge:
+		e.lostSeq = firstMissing
+		j.active.remove(e)
+		j.loss.pushBack(e)
+		e.phase = PhaseLossRecovery
+		j.Stats.LossRecoveryEntered++
+	case PhasePostMerge:
+		panic("core: ofo expiry with empty queue")
+	}
+}
+
+// evictOne frees one table entry according to the eviction policy:
+// post-merge flows first (empty, hole-free queues), then active flows in
+// FIFO order, loss-recovery flows only as a last resort (§4.3).
+func (j *Juggler) evictOne() {
+	var victim *flowEntry
+	switch j.cfg.Eviction {
+	case EvictInactiveFirst:
+		switch {
+		case j.inactive.head != nil:
+			victim = j.inactive.head
+			j.Stats.EvictionsInactive++
+		case j.active.head != nil:
+			victim = j.active.head
+			j.Stats.EvictionsActive++
+		default:
+			victim = j.loss.head
+			j.Stats.EvictionsLoss++
+		}
+	case EvictFIFO:
+		// Oldest across all lists approximated by round-robin preference
+		// on whichever list is non-empty, active first: this deliberately
+		// evicts flows with holes (the ablation's point).
+		switch {
+		case j.active.head != nil:
+			victim = j.active.head
+			j.Stats.EvictionsActive++
+		case j.loss.head != nil:
+			victim = j.loss.head
+			j.Stats.EvictionsLoss++
+		default:
+			victim = j.inactive.head
+			j.Stats.EvictionsInactive++
+		}
+	}
+	if victim == nil {
+		panic("core: eviction with empty table")
+	}
+	j.evict(victim)
+}
+
+// evict removes the flow and flushes all its packets to higher layers.
+func (j *Juggler) evict(e *flowEntry) {
+	j.Trace.Add(trace.KindEvict, e.key, e.seqNext, e.ooo.pkts(), e.phase.String())
+	for _, seg := range e.ooo.drain() {
+		j.Stats.FlushEvict++
+		j.emitMerged(seg)
+	}
+	e.list.remove(e)
+	delete(j.table, e.key)
+}
+
+// Flush forces out all buffered state (used at simulation teardown so
+// byte-conservation checks balance).
+func (j *Juggler) Flush() {
+	for _, e := range j.table {
+		for _, seg := range e.ooo.drain() {
+			j.emitMerged(seg)
+		}
+	}
+}
+
+var _ gro.Offload = (*Juggler)(nil)

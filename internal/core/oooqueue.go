@@ -1,0 +1,181 @@
+package core
+
+import (
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+// oooQueue is a flow's out-of-order queue: packets sorted by sequence
+// number and eagerly merged into contiguous segments. The paper stores
+// packets in a doubly-linked sk_buff list; an ordered slice of merged
+// segments is semantically identical and keeps adjacent-merge operations
+// O(queue length), which §3.2 argues is small in datacenters.
+//
+// Invariants (checked by tests):
+//   - segments are strictly ordered by Seq;
+//   - no two segments are mergeable (overlap-free, and any two adjacent
+//     contiguous segments differ in options/CE, sealing, or size budget).
+type oooQueue struct {
+	segs []*packet.Segment
+}
+
+// insertResult describes what insert did with a packet.
+type insertResult uint8
+
+const (
+	insMerged    insertResult = iota // extended an existing segment
+	insNew                           // created a new standalone segment
+	insDuplicate                     // fully covered already; not stored
+)
+
+// len returns the number of segments queued.
+func (q *oooQueue) len() int { return len(q.segs) }
+
+// empty reports whether the queue holds nothing.
+func (q *oooQueue) empty() bool { return len(q.segs) == 0 }
+
+// head returns the first (lowest-sequence) segment, or nil.
+func (q *oooQueue) head() *packet.Segment {
+	if len(q.segs) == 0 {
+		return nil
+	}
+	return q.segs[0]
+}
+
+// popHead removes and returns the first segment.
+func (q *oooQueue) popHead() *packet.Segment {
+	s := q.segs[0]
+	copy(q.segs, q.segs[1:])
+	q.segs[len(q.segs)-1] = nil
+	q.segs = q.segs[:len(q.segs)-1]
+	return s
+}
+
+// findInsertPos returns the index of the first segment whose Seq is not
+// before seq (binary search in sequence space).
+func (q *oooQueue) findInsertPos(seq uint32) int {
+	lo, hi := 0, len(q.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if packet.SeqLess(q.segs[mid].Seq, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// covered reports whether the packet's byte range is already fully present.
+func (q *oooQueue) covered(p *packet.Packet) bool {
+	i := q.findInsertPos(p.Seq)
+	// A covering segment starts at or before p.Seq: check segs[i] (equal
+	// start) and segs[i-1] (earlier start).
+	if i < len(q.segs) && q.segs[i].Seq == p.Seq &&
+		packet.SeqLEQ(p.EndSeq(), q.segs[i].EndSeq()) {
+		return true
+	}
+	if i > 0 {
+		prev := q.segs[i-1]
+		if packet.SeqLEQ(prev.Seq, p.Seq) && packet.SeqLEQ(p.EndSeq(), prev.EndSeq()) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert places p into the queue, merging with neighbours where the GRO
+// merge rules allow. Exact duplicates are reported, not stored. fastPath
+// reports a plain tail extension of the last segment — the same work
+// standard GRO does on in-order traffic, which therefore carries no extra
+// Juggler bookkeeping cost.
+func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
+	if q.covered(p) {
+		return insDuplicate, false
+	}
+	i := q.findInsertPos(p.Seq)
+
+	// Try appending to the predecessor.
+	if i > 0 && q.segs[i-1].CanAppend(p, units.TSOMaxBytes) {
+		q.segs[i-1].Append(p)
+		if i == len(q.segs) {
+			return insMerged, true
+		}
+		// The grown predecessor may now touch the successor.
+		q.tryMergeAt(i - 1)
+		return insMerged, false
+	}
+	// Try prepending to the successor.
+	if i < len(q.segs) && q.segs[i].CanPrepend(p, units.TSOMaxBytes) {
+		q.segs[i].Prepend(p)
+		// The grown successor may now touch the predecessor.
+		if i > 0 {
+			q.tryMergeAt(i - 1)
+		}
+		return insMerged, false
+	}
+	// Standalone segment.
+	seg := packet.FromPacket(p)
+	q.segs = append(q.segs, nil)
+	copy(q.segs[i+1:], q.segs[i:])
+	q.segs[i] = seg
+	return insNew, q.len() == 1
+}
+
+// tryMergeAt merges segs[i] with segs[i+1] when they are contiguous and
+// compatible, closing a filled hole.
+func (q *oooQueue) tryMergeAt(i int) {
+	if i+1 >= len(q.segs) {
+		return
+	}
+	a, b := q.segs[i], q.segs[i+1]
+	if a.EndSeq() != b.Seq {
+		return
+	}
+	if a.Sealed() || a.OptSig != b.OptSig || a.CE != b.CE ||
+		a.Bytes+b.Bytes > units.TSOMaxBytes {
+		return
+	}
+	a.Bytes += b.Bytes
+	a.Pkts += b.Pkts
+	a.Flags |= b.Flags
+	a.AckSeq = b.AckSeq
+	if b.FirstSentAt < a.FirstSentAt {
+		a.FirstSentAt = b.FirstSentAt
+	}
+	if b.LastSentAt > a.LastSentAt {
+		a.LastSentAt = b.LastSentAt
+	}
+	copy(q.segs[i+1:], q.segs[i+2:])
+	q.segs[len(q.segs)-1] = nil
+	q.segs = q.segs[:len(q.segs)-1]
+}
+
+// minSeq returns the lowest sequence number queued; only valid when
+// non-empty.
+func (q *oooQueue) minSeq() uint32 { return q.segs[0].Seq }
+
+// drain removes and returns all segments in sequence order.
+func (q *oooQueue) drain() []*packet.Segment {
+	out := q.segs
+	q.segs = nil
+	return out
+}
+
+// pkts returns the total packet count queued (for stats).
+func (q *oooQueue) pkts() int {
+	n := 0
+	for _, s := range q.segs {
+		n += s.Pkts
+	}
+	return n
+}
+
+// bytes returns the total payload bytes queued.
+func (q *oooQueue) bytes() int {
+	n := 0
+	for _, s := range q.segs {
+		n += s.Bytes
+	}
+	return n
+}

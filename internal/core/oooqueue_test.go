@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+var testFlow = packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.ProtoTCP}
+
+func dataPkt(seqMSS int) *packet.Packet {
+	return &packet.Packet{
+		Flow: testFlow, Seq: uint32(seqMSS * units.MSS), PayloadLen: units.MSS,
+		Flags: packet.FlagACK,
+	}
+}
+
+func (q *oooQueue) checkInvariants(t *testing.T) {
+	t.Helper()
+	for i := 1; i < len(q.segs); i++ {
+		a, b := q.segs[i-1], q.segs[i]
+		if !packet.SeqLess(a.Seq, b.Seq) {
+			t.Fatalf("segments out of order at %d: %d >= %d", i, a.Seq, b.Seq)
+		}
+		if packet.SeqLess(b.Seq, a.EndSeq()) {
+			t.Fatalf("segments overlap at %d: [%d,%d) and [%d,%d)",
+				i, a.Seq, a.EndSeq(), b.Seq, b.EndSeq())
+		}
+	}
+}
+
+func TestOOOInsertSortedAndMerged(t *testing.T) {
+	var q oooQueue
+	for _, s := range []int{3, 5, 2} { // Figure 6's build-up arrival order
+		q.insert(dataPkt(s))
+		q.checkInvariants(t)
+	}
+	// 2 and 3 merge; 5 stands alone.
+	if q.len() != 2 {
+		t.Fatalf("segments = %d, want 2", q.len())
+	}
+	if q.head().Seq != uint32(2*units.MSS) || q.head().Pkts != 2 {
+		t.Fatalf("head = %+v", q.head())
+	}
+	if q.pkts() != 3 || q.bytes() != 3*units.MSS {
+		t.Fatalf("pkts=%d bytes=%d", q.pkts(), q.bytes())
+	}
+}
+
+func TestOOOHoleFillMergesThreeWays(t *testing.T) {
+	var q oooQueue
+	q.insert(dataPkt(0))
+	q.insert(dataPkt(2))
+	if q.len() != 2 {
+		t.Fatal("setup should have 2 segments")
+	}
+	q.insert(dataPkt(1)) // fills the hole: all three merge
+	q.checkInvariants(t)
+	if q.len() != 1 || q.head().Pkts != 3 {
+		t.Fatalf("after fill: len=%d head=%+v", q.len(), q.head())
+	}
+}
+
+func TestOOODuplicateDetected(t *testing.T) {
+	var q oooQueue
+	if res, fast := q.insert(dataPkt(1)); res != insNew || !fast {
+		t.Fatal("first insert should be new (fast path: sole segment)")
+	}
+	if res, _ := q.insert(dataPkt(1)); res != insDuplicate {
+		t.Fatal("same packet again should be duplicate")
+	}
+	if res, fast := q.insert(dataPkt(2)); res != insMerged || !fast {
+		t.Fatal("contiguous packet should merge on the fast path")
+	}
+	if res, _ := q.insert(dataPkt(1)); res != insDuplicate {
+		t.Fatal("covered packet inside merged segment should be duplicate")
+	}
+	if q.pkts() != 2 {
+		t.Fatalf("pkts = %d, want 2", q.pkts())
+	}
+}
+
+func TestOOOSizeLimitCreatesBoundary(t *testing.T) {
+	var q oooQueue
+	for i := 0; i < 50; i++ {
+		q.insert(dataPkt(i))
+	}
+	q.checkInvariants(t)
+	if q.len() != 2 {
+		t.Fatalf("segments = %d, want 2 (64KB boundary)", q.len())
+	}
+	if q.head().Pkts != 44 {
+		t.Fatalf("head pkts = %d, want 44", q.head().Pkts)
+	}
+}
+
+func TestOOOSealedSegmentNotExtended(t *testing.T) {
+	var q oooQueue
+	psh := dataPkt(0)
+	psh.Flags |= packet.FlagPSH
+	q.insert(psh)
+	q.insert(dataPkt(1))
+	if q.len() != 2 {
+		t.Fatal("sealed head must not absorb the next packet")
+	}
+}
+
+func TestOOOOptionBoundary(t *testing.T) {
+	var q oooQueue
+	q.insert(dataPkt(0))
+	p := dataPkt(1)
+	p.OptSig = 42
+	q.insert(p)
+	if q.len() != 2 {
+		t.Fatal("option change must create a merge boundary")
+	}
+	q.checkInvariants(t)
+}
+
+func TestOOOPopHeadAndDrainOrder(t *testing.T) {
+	var q oooQueue
+	for _, s := range []int{8, 2, 5} {
+		q.insert(dataPkt(s))
+	}
+	h := q.popHead()
+	if h.Seq != uint32(2*units.MSS) {
+		t.Fatalf("popHead = %d", h.Seq)
+	}
+	rest := q.drain()
+	if len(rest) != 2 || rest[0].Seq != uint32(5*units.MSS) || rest[1].Seq != uint32(8*units.MSS) {
+		t.Fatalf("drain = %v", rest)
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty after drain")
+	}
+}
+
+// Property: any insertion order of distinct MSS packets yields a queue
+// whose segments are sorted, non-overlapping, and cover exactly the
+// inserted bytes.
+func TestPropertyOOOQueueInvariant(t *testing.T) {
+	f := func(order []uint8) bool {
+		var q oooQueue
+		seen := map[int]bool{}
+		for _, o := range order {
+			s := int(o) % 128
+			res, _ := q.insert(dataPkt(s))
+			if seen[s] {
+				if res != insDuplicate {
+					return false
+				}
+			} else if res == insDuplicate {
+				return false
+			}
+			seen[s] = true
+		}
+		// Invariants.
+		total := 0
+		for i, seg := range q.segs {
+			total += seg.Bytes
+			if i > 0 {
+				prev := q.segs[i-1]
+				if !packet.SeqLess(prev.Seq, seg.Seq) || packet.SeqLess(seg.Seq, prev.EndSeq()) {
+					return false
+				}
+			}
+		}
+		return total == len(seen)*units.MSS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fully covering a contiguous range, in any order, coalesces to
+// a single segment (when within the 64KB budget and unflagged).
+func TestPropertyOOOCoalesce(t *testing.T) {
+	f := func(perm []uint8, nRaw uint8) bool {
+		n := int(nRaw)%20 + 2
+		// Build a permutation of [0,n) from the raw bytes.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i, p := range perm {
+			if i >= n {
+				break
+			}
+			jdx := int(p) % n
+			order[i], order[jdx] = order[jdx], order[i]
+		}
+		var q oooQueue
+		for _, s := range order {
+			q.insert(dataPkt(s))
+		}
+		return q.len() == 1 && q.head().Pkts == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOOOFindInsertPosWraparound(t *testing.T) {
+	var q oooQueue
+	nearWrap := &packet.Packet{Flow: testFlow, Seq: ^uint32(0) - uint32(units.MSS) + 1, PayloadLen: units.MSS}
+	afterWrap := &packet.Packet{Flow: testFlow, Seq: 0, PayloadLen: units.MSS}
+	q.insert(afterWrap)
+	q.insert(nearWrap)
+	q.checkInvariants(t)
+	if q.len() != 1 {
+		t.Fatalf("wraparound-contiguous packets should merge, len=%d", q.len())
+	}
+	if q.head().Seq != nearWrap.Seq {
+		t.Fatalf("head seq = %d", q.head().Seq)
+	}
+}

@@ -1,0 +1,240 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+func TestCoreUtilization(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, "test")
+	c.ResetWindow()
+	// 300ms of work over a 1s window = 30%.
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i) * 250 * time.Millisecond
+		s.Schedule(d, func() { c.Charge(100 * time.Millisecond) })
+	}
+	s.RunUntil(sim.Time(time.Second))
+	u := c.Utilization()
+	if math.Abs(u-0.3) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.30", u)
+	}
+}
+
+func TestCoreFIFOCompletionOrder(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, "test")
+	var done []int
+	c.Submit(10*time.Microsecond, func() { done = append(done, 1) })
+	c.Submit(5*time.Microsecond, func() { done = append(done, 2) })
+	s.Run()
+	if len(done) != 2 || done[0] != 1 || done[1] != 2 {
+		t.Fatalf("completion order = %v", done)
+	}
+	// Second job completes at 15us (serial service), not 5us.
+	if s.Now() != sim.Time(15*time.Microsecond) {
+		t.Fatalf("finished at %v, want 15us", s.Now())
+	}
+}
+
+func TestCoreIdleGapDoesNotAccrueBusy(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, "test")
+	c.ResetWindow()
+	c.Submit(time.Millisecond, nil)
+	s.Schedule(500*time.Millisecond, func() { c.Submit(time.Millisecond, nil) })
+	s.RunUntil(sim.Time(time.Second))
+	if got := c.BusyTotal(); got != 2*time.Millisecond {
+		t.Fatalf("busy = %v, want 2ms", got)
+	}
+	if u := c.Utilization(); math.Abs(u-0.002) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.002", u)
+	}
+}
+
+func TestQueueLimitBackpressure(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, "test")
+	c.QueueLimit = time.Millisecond
+	if !c.Submit(900*time.Microsecond, nil) {
+		t.Fatal("first job under limit should be accepted")
+	}
+	if !c.Submit(time.Millisecond, nil) {
+		t.Fatal("job at limit boundary should be accepted")
+	}
+	if c.Submit(time.Microsecond, nil) {
+		t.Fatal("job beyond backlog limit should be rejected")
+	}
+	s.RunUntil(sim.Time(10 * time.Millisecond))
+	// After draining, submissions are accepted again.
+	if !c.Submit(time.Microsecond, nil) {
+		t.Fatal("post-drain job should be accepted")
+	}
+}
+
+func TestBacklog(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, "test")
+	if c.Backlog() != 0 {
+		t.Fatal("idle core should have zero backlog")
+	}
+	c.Submit(3*time.Microsecond, nil)
+	c.Submit(2*time.Microsecond, nil)
+	if c.Backlog() != 5*time.Microsecond {
+		t.Fatalf("backlog = %v, want 5us", c.Backlog())
+	}
+}
+
+func TestDefaultCostsCalibration(t *testing.T) {
+	costs := DefaultCosts()
+	s := sim.New(1)
+	m := New(s, costs)
+
+	// Target 1: vanilla in-order 20Gb/s. Packets/s and segments/s with full
+	// 44-MSS batching.
+	pps := 20e9 / 8 / float64(units.MTU)
+	segPerSec := pps / 44
+
+	rxDemand := pps * float64(costs.DriverPerPacket+costs.GROPerPacket) / 1e9
+	rxDemand += segPerSec * float64(costs.RXPerSegment) / 1e9
+	if rxDemand < 0.2 || rxDemand > 0.7 {
+		t.Fatalf("in-order RX demand = %.2f, want moderate (0.2-0.7)", rxDemand)
+	}
+
+	appDemand := segPerSec * float64(m.AppSegmentCost(44*units.MSS, 44, false)) / 1e9
+	appDemand += segPerSec * float64(costs.AppPerACKSent) / 1e9
+	if appDemand > 0.8 {
+		t.Fatalf("in-order app demand = %.2f, must be < 0.8 (no saturation)", appDemand)
+	}
+
+	// Target 2: reordered vanilla sees ~15x more segments; app core must
+	// saturate (demand > 1) so throughput drops.
+	segsReordered := segPerSec * 15
+	appReordered := segsReordered * float64(m.AppSegmentCost(3*units.MSS, 3, false)) / 1e9
+	appReordered += segsReordered * float64(costs.AppPerACKSent) / 1e9
+	if appReordered < 1.1 {
+		t.Fatalf("reordered vanilla app demand = %.2f, must exceed 1 (saturation)", appReordered)
+	}
+	// ...and the implied throughput loss should be in the 25-50% band.
+	loss := 1 - 1/appReordered
+	if loss < 0.2 || loss > 0.55 {
+		t.Fatalf("implied throughput loss = %.2f, want ~0.35", loss)
+	}
+
+	// Target 3: Juggler's extra per-packet cost at 20Gb/s < 15% of a core.
+	jugExtra := pps * float64(costs.JugglerPerPacket) / 1e9
+	if jugExtra > 0.15 {
+		t.Fatalf("juggler extra = %.2f of a core, want < 0.15", jugExtra)
+	}
+
+	// Target 4: linked-list batching adds roughly 50% to total CPU on
+	// in-order traffic (chains of ~44 packets per segment).
+	llExtra := segPerSec * float64(m.AppSegmentCost(44*units.MSS, 44, true)-m.AppSegmentCost(44*units.MSS, 44, false)) / 1e9
+	base := rxDemand + appDemand
+	ratio := llExtra / base
+	if ratio < 0.25 || ratio > 0.8 {
+		t.Fatalf("linked-list extra = %.0f%% of base CPU, want ~50%%", ratio*100)
+	}
+}
+
+func TestRXPollCost(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, DefaultCosts())
+	got := m.RXPollCost(10, 4, 2)
+	want := 10*(m.Costs.DriverPerPacket+m.Costs.GROPerPacket) +
+		4*m.Costs.JugglerPerPacket + 2*m.Costs.RXPerSegment
+	if got != want {
+		t.Fatalf("RXPollCost = %v, want %v", got, want)
+	}
+}
+
+// Property: utilization never exceeds backlog-implied bounds and busy time
+// is additive.
+func TestPropertyBusyAdditive(t *testing.T) {
+	f := func(costs []uint16) bool {
+		s := sim.New(3)
+		c := NewCore(s, "p")
+		var want time.Duration
+		for _, cost := range costs {
+			d := time.Duration(cost) * time.Nanosecond
+			c.Submit(d, nil)
+			want += d
+		}
+		s.Run()
+		return c.BusyTotal() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := sim.New(1)
+	NewCore(s, "x").Submit(-time.Nanosecond, nil)
+}
+
+func TestAppSegmentCostComponents(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, DefaultCosts())
+	plain := m.AppSegmentCost(44*units.MSS, 44, false)
+	ll := m.AppSegmentCost(44*units.MSS, 44, true)
+	if ll <= plain {
+		t.Fatal("linked-list traversal must cost more")
+	}
+	if got, want := ll-plain, 43*m.Costs.LinkedListPerPkt; got != want {
+		t.Fatalf("linked-list surcharge = %v, want %v", got, want)
+	}
+	single := m.AppSegmentCost(units.MSS, 1, true)
+	if single != m.AppSegmentCost(units.MSS, 1, false) {
+		t.Fatal("single-packet segments have no chain to traverse")
+	}
+	if m.AppSegmentCost(2048, 2, false) <= m.AppSegmentCost(0, 2, false) {
+		t.Fatal("per-KB copy cost missing")
+	}
+}
+
+func TestRXCoreLazyCreation(t *testing.T) {
+	s := sim.New(1)
+	m := New(s, DefaultCosts())
+	if m.RXCore(0) != m.RX {
+		t.Fatal("queue 0 must map to the canonical RX core")
+	}
+	c3 := m.RXCore(3)
+	if c3 == m.RX || c3 == nil {
+		t.Fatal("queue 3 should have its own core")
+	}
+	if m.RXCore(3) != c3 {
+		t.Fatal("core lookup must be stable")
+	}
+	if got := len(m.RXCores()); got != 4 {
+		t.Fatalf("cores = %d, want 4 (queue 0..3)", got)
+	}
+	if c3.Name() != "rx3" {
+		t.Fatalf("core name = %q", c3.Name())
+	}
+	// ResetWindows covers every core.
+	c3.Charge(time.Millisecond)
+	s.RunFor(time.Millisecond)
+	m.ResetWindows()
+	if c3.Utilization() != 0 {
+		t.Fatal("reset should zero the measurement window")
+	}
+}
+
+func TestUtilizationBeforeAnyWindow(t *testing.T) {
+	s := sim.New(1)
+	c := NewCore(s, "x")
+	if c.Utilization() != 0 {
+		t.Fatal("zero wall time must yield zero utilization")
+	}
+}

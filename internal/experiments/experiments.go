@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated stack. Each experiment is a function
+// from Options to a Table whose rows mirror the series the paper plots;
+// the registry maps stable experiment IDs (fig1, fig9, ..., ablations) to
+// those functions for the CLI and the benchmark harness.
+//
+// Absolute numbers are not expected to match the paper's hardware testbed;
+// the shapes — who wins, by what rough factor, where crossovers fall — are
+// the reproduction targets. EXPERIMENTS.md records paper-vs-measured for
+// every row.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Seed drives all randomness; identical seeds reproduce bit-identical
+	// tables.
+	Seed int64
+	// Quick shrinks sweeps and durations (~10x faster) for smoke runs.
+	Quick bool
+}
+
+// DefaultOptions is the full-fidelity configuration.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// scale returns d, shrunk in Quick mode.
+func (o Options) scale(d time.Duration) time.Duration {
+	if o.Quick {
+		return d / 4
+	}
+	return d
+}
+
+// Table is one experiment's result, printable as an aligned text table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends one formatted row.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d cells, table %q has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-form note printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) *Table
+
+// registry maps experiment IDs to runners, with a parallel description.
+var registry = map[string]struct {
+	run  Runner
+	desc string
+}{}
+
+// register is called from each experiment file's init.
+func register(id, desc string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = struct {
+		run  Runner
+		desc string
+	}{run, desc}
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an experiment's one-line description.
+func Describe(id string) string { return registry[id].desc }
+
+// Run executes one experiment by ID; it returns nil for unknown IDs.
+func Run(id string, o Options) *Table {
+	e, ok := registry[id]
+	if !ok {
+		return nil
+	}
+	return e.run(o)
+}
+
+// Formatting helpers shared by the experiment files.
+
+func fGbps(bps float64) string      { return fmt.Sprintf("%.2f", bps/1e9) }
+func fPct(frac float64) string      { return fmt.Sprintf("%.1f%%", frac*100) }
+func fUs(sec float64) string        { return fmt.Sprintf("%.0f", sec*1e6) }
+func fMs(sec float64) string        { return fmt.Sprintf("%.3f", sec*1e3) }
+func fDurUs(d time.Duration) string { return fmt.Sprintf("%d", d.Microseconds()) }
+func fF(v float64) string           { return fmt.Sprintf("%.2f", v) }
+func fI(v int64) string             { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/nic"
+	"juggler/internal/sim"
+	"juggler/internal/stats"
+	"juggler/internal/tcp"
+	"juggler/internal/testbed"
+	"juggler/internal/units"
+	"juggler/internal/workload"
+)
+
+// netfpgaRun is one measurement on the Figure-11 apparatus: a 10G pair
+// with per-packet reordering delay tau and optional receiver-side drops.
+type netfpgaRun struct {
+	tau      time.Duration
+	jcfg     core.Config
+	kind     testbed.OffloadKind
+	dropProb float64
+	// coalesce overrides the NIC coalescing (frames=0 means time-bound
+	// only, the fig13/14 regime where tau0 = 125us applies).
+	coalesce nic.RXConfig
+	// senderCfg tunes the TCP sender.
+	senderCfg tcp.SenderConfig
+	seed      int64
+}
+
+// results of one bulk-flow run.
+type bulkResult struct {
+	throughput     units.BitRate
+	batchingExtent float64 // MTUs per data segment at the offload layer
+	rxUtil         float64
+	appUtil        float64
+	oooFrac        float64 // OOO segments seen by TCP / total
+	segsPerSec     float64
+	acksPerSec     float64
+	retransmits    int64
+	tb             *testbed.NetFPGAPair
+}
+
+// runNetFPGABulk drives one infinite flow for warm+dur and measures over
+// the last dur.
+func runNetFPGABulk(r netfpgaRun, warm, dur time.Duration) bulkResult {
+	s := sim.New(r.seed)
+	sndHost := testbed.DefaultHostConfig(testbed.OffloadVanilla)
+	rcvHost := testbed.DefaultHostConfig(r.kind)
+	rcvHost.Juggler = r.jcfg
+	if r.coalesce.Queues > 0 {
+		rcvHost.RX = r.coalesce
+	}
+	tb := testbed.NewNetFPGAPair(s, units.Rate10G, r.tau, r.dropProb, sndHost, rcvHost)
+	snd, rcv := testbed.Connect(tb.Sender, tb.Receiver, r.senderCfg)
+	snd.SetInfinite()
+	snd.MaybeSend()
+
+	s.RunFor(warm)
+	c0 := tb.Receiver.OffloadCounters()
+	seg0 := rcv.Stats.SegmentsIn
+	ooo0 := rcv.Stats.OOOSegments
+	ack0 := rcv.Stats.AcksSent
+	bytes0 := rcv.Delivered()
+	tb.Receiver.CPU.ResetWindows()
+
+	s.RunFor(dur)
+
+	c1 := tb.Receiver.OffloadCounters()
+	res := bulkResult{
+		throughput:  units.Throughput(rcv.Delivered()-bytes0, dur),
+		rxUtil:      tb.Receiver.CPU.RX.Utilization(),
+		appUtil:     tb.Receiver.CPU.App.Utilization(),
+		segsPerSec:  float64(rcv.Stats.SegmentsIn-seg0) / dur.Seconds(),
+		acksPerSec:  float64(rcv.Stats.AcksSent-ack0) / dur.Seconds(),
+		retransmits: snd.Stats.RetransPackets,
+		tb:          tb,
+	}
+	if segs := c1.Segments - c0.Segments; segs > 0 {
+		res.batchingExtent = float64(c1.Packets-c0.Packets) / float64(segs)
+	}
+	if tot := rcv.Stats.SegmentsIn - seg0; tot > 0 {
+		res.oooFrac = float64(rcv.Stats.OOOSegments-ooo0) / float64(tot)
+	}
+	return res
+}
+
+// fig12: batching extent and CPU usage versus inseq_timeout at three
+// reordering levels (10G line rate, single flow).
+func fig12(o Options) *Table {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Batching efficiency vs inseq_timeout (10G line rate, single flow)",
+		Columns: []string{"reorder_us", "inseq_timeout_us", "batching_MTUs", "rx_core%", "app_core%", "tput_Gbps"},
+	}
+	taus := []time.Duration{250 * time.Microsecond, 500 * time.Microsecond, 750 * time.Microsecond}
+	timeouts := []time.Duration{0, 10 * time.Microsecond, 20 * time.Microsecond,
+		30 * time.Microsecond, 40 * time.Microsecond, 52 * time.Microsecond,
+		65 * time.Microsecond, 80 * time.Microsecond, 100 * time.Microsecond}
+	if o.Quick {
+		timeouts = []time.Duration{0, 20 * time.Microsecond, 52 * time.Microsecond, 100 * time.Microsecond}
+	}
+	for _, tau := range taus {
+		for _, it := range timeouts {
+			jcfg := core.DefaultConfig()
+			jcfg.InseqTimeout = it
+			jcfg.OfoTimeout = tau + 300*time.Microsecond // ample: isolate inseq effect
+			res := runNetFPGABulk(netfpgaRun{
+				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed,
+			}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
+			t.Add(fDurUs(tau), fDurUs(it), fF(res.batchingExtent),
+				fPct(res.rxUtil), fPct(res.appUtil), fGbps(float64(res.throughput)))
+		}
+	}
+	t.Note("paper: batching ~25 MTUs at timeout 0 (per-poll batching), rising to the max (~45) by ~52us at 10G; more timeout beyond that buys nothing")
+	return t
+}
+
+// fig13: single-flow throughput versus ofo_timeout at three reordering
+// levels. NIC coalescing is time-bound (tau0 = 125us) as in the paper's
+// testbed, so the needed ofo_timeout is roughly tau - tau0.
+func fig13(o Options) *Table {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Throughput vs ofo_timeout (10G, single flow)",
+		Columns: []string{"reorder_us", "ofo_timeout_us", "tput_Gbps", "ooo_frac", "spurious_retrans"},
+	}
+	taus := []time.Duration{250 * time.Microsecond, 500 * time.Microsecond, 750 * time.Microsecond}
+	timeouts := []time.Duration{0, 50 * time.Microsecond, 100 * time.Microsecond,
+		200 * time.Microsecond, 300 * time.Microsecond, 400 * time.Microsecond,
+		500 * time.Microsecond, 600 * time.Microsecond, 700 * time.Microsecond,
+		800 * time.Microsecond, 1000 * time.Microsecond}
+	if o.Quick {
+		timeouts = []time.Duration{0, 100 * time.Microsecond, 400 * time.Microsecond, 800 * time.Microsecond}
+	}
+	for _, tau := range taus {
+		for _, ot := range timeouts {
+			jcfg := core.DefaultConfig()
+			jcfg.InseqTimeout = 52 * time.Microsecond
+			jcfg.OfoTimeout = ot
+			res := runNetFPGABulk(netfpgaRun{
+				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed,
+				coalesce: coalesceTimeBound(),
+			}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
+			t.Add(fDurUs(tau), fDurUs(ot), fGbps(float64(res.throughput)),
+				fF(res.oooFrac), fI(res.retransmits))
+		}
+	}
+	t.Note("paper: throughput reaches line rate once ofo_timeout >= tau - tau0 (tau0 = 125us interrupt coalescing); in this model the crossover lands at ~tau (+queueing jitter) because coalescing delays both sides of a hole equally")
+	return t
+}
+
+// coalesceTimeBound returns the fig13/14 NIC regime: pure 125us time-bound
+// coalescing (no frame bound), making tau0 = 125us exact.
+func coalesceTimeBound() nic.RXConfig {
+	cfg := nic.DefaultRXConfig()
+	cfg.CoalesceFrames = 0
+	return cfg
+}
+
+// fig14: 99th-percentile completion time of 10KB RPCs versus ofo_timeout
+// with 0.1% receiver-side drops, at three reordering levels.
+func fig14(o Options) *Table {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Small RPC 99th completion vs ofo_timeout (10KB RPCs, random drops)",
+		Columns: []string{"reorder_us", "ofo_timeout_us", "p99_ms", "median_ms", "rpcs"},
+	}
+	taus := []time.Duration{250 * time.Microsecond, 500 * time.Microsecond, 750 * time.Microsecond}
+	timeouts := []time.Duration{0, 100 * time.Microsecond, 200 * time.Microsecond,
+		300 * time.Microsecond, 400 * time.Microsecond, 600 * time.Microsecond,
+		800 * time.Microsecond, 1000 * time.Microsecond}
+	if o.Quick {
+		timeouts = []time.Duration{0, 200 * time.Microsecond, 600 * time.Microsecond, 1000 * time.Microsecond}
+	}
+	dur := o.scale(2000 * time.Millisecond)
+	for _, tau := range taus {
+		for _, ot := range timeouts {
+			s := sim.New(o.Seed)
+			jcfg := core.DefaultConfig()
+			jcfg.InseqTimeout = 52 * time.Microsecond
+			jcfg.OfoTimeout = ot
+			rcvHost := testbed.DefaultHostConfig(testbed.OffloadJuggler)
+			rcvHost.Juggler = jcfg
+			rcvHost.RX = coalesceTimeBound()
+			// 0.3%% per-packet drops put the dropped-RPC cohort (~2%% of
+			// RPCs) squarely at the 99th percentile, so p99 measures loss
+			// recovery as in the paper's figure.
+			tb := testbed.NewNetFPGAPair(s, units.Rate10G, tau, 0.003,
+				testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvHost)
+			// RTO floored well above the sweep so the ofo effect is not
+			// shortcut by the retransmission timer; requests are issued
+			// closed loop (next request once the previous completes) so
+			// the tail reflects per-RPC recovery, not open-loop queueing.
+			snd, rcv := testbed.Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{RTOMin: 10 * time.Millisecond})
+			lat := stats.NewSampler(8192)
+			stream := workload.NewRPCStream(s, snd, rcv, lat)
+			stream.OnComplete = func() { stream.Send(10 * units.KB) }
+			stream.Send(10 * units.KB)
+			s.RunFor(dur)
+			stream.OnComplete = nil
+			t.Add(fDurUs(tau), fDurUs(ot), fMs(lat.P99()), fMs(lat.Median()), fI(stream.Completed))
+		}
+	}
+	t.Note("paper: p99 flat for small ofo_timeout, growing once it exceeds tau - tau0 (loss recovery waits out the full timeout)")
+	return t
+}
+
+// fig15: 99th percentile of the number of active flows versus concurrent
+// flows at four reordering levels (10G total, 4 RX queues).
+func fig15(o Options) *Table {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "99th percentile of active flows vs concurrent flows (10G into 4 RX queues)",
+		Columns: []string{"reorder_us", "flows", "active_p99", "active_mean", "active_max"},
+	}
+	taus := []time.Duration{250 * time.Microsecond, 500 * time.Microsecond,
+		750 * time.Microsecond, 1000 * time.Microsecond}
+	flowCounts := []int{64, 128, 256, 512, 1024}
+	if o.Quick {
+		taus = taus[:2]
+		flowCounts = []int{64, 256, 1024}
+	}
+	for _, tau := range taus {
+		for _, n := range flowCounts {
+			s := sim.New(o.Seed)
+			jcfg := core.DefaultConfig()
+			jcfg.InseqTimeout = 52 * time.Microsecond
+			jcfg.OfoTimeout = tau + 200*time.Microsecond
+			jcfg.MaxFlows = 4096 // no eviction: measure demand, not the cap
+			rcvHost := testbed.DefaultHostConfig(testbed.OffloadJuggler)
+			rcvHost.Juggler = jcfg
+			rcvHost.RX.Queues = 4
+			tb := testbed.NewNetFPGAPair(s, units.Rate10G, tau, 0,
+				testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvHost)
+			// n long-lived flows share the 10G bottleneck; contention sets
+			// per-flow windows (low-rate flows send single-MTU bursts).
+			for i := 0; i < n; i++ {
+				snd, _ := testbed.Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{
+					MaxCwnd: units.MB,
+				})
+				snd.SetInfinite()
+				start := time.Duration(i) * 50 * time.Microsecond
+				s.Schedule(start, snd.MaybeSend)
+			}
+			var h stats.Hist
+			tick := sim.NewTicker(s, 100*time.Microsecond, func() {
+				for q := 0; q < 4; q++ {
+					h.Observe(tb.Receiver.Jugglers[q].ActiveLen())
+				}
+			})
+			s.RunFor(o.scale(60 * time.Millisecond)) // warm up
+			tick.Start()
+			s.RunFor(o.scale(240 * time.Millisecond))
+			tick.Stop()
+			t.Add(fDurUs(tau), fI(int64(n)), fI(int64(h.Quantile(0.99))),
+				fF(h.Mean()), fI(int64(h.Max())))
+		}
+	}
+	t.Note("paper: grows with concurrency up to ~256 flows then drops (low-rate flows send single-MTU bursts); worst case < ~35 per gro_table")
+	return t
+}
+
+// lossOfo reproduces the §5.2.1 text result: at 0.1% loss, a bulk flow
+// loses throughput only when ofo_timeout exceeds the stack's fast
+// retransmission recovery (Linux: ~100ms with its 200ms RTO floor; here
+// scaled to the simulated stack's 5ms RTO floor).
+func lossOfo(o Options) *Table {
+	t := &Table{
+		ID:      "lossofo",
+		Title:   "Throughput vs ofo_timeout at 0.1% loss (10G bulk flow)",
+		Columns: []string{"ofo_timeout_ms", "tput_Gbps"},
+	}
+	timeouts := []time.Duration{100 * time.Microsecond, 500 * time.Microsecond,
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		20 * time.Millisecond, 100 * time.Millisecond}
+	if o.Quick {
+		timeouts = []time.Duration{500 * time.Microsecond, 5 * time.Millisecond, 100 * time.Millisecond}
+	}
+	for _, ot := range timeouts {
+		jcfg := core.DefaultConfig()
+		jcfg.InseqTimeout = 52 * time.Microsecond
+		jcfg.OfoTimeout = ot
+		// The window is pinned (no multiplicative decrease) so the sweep
+		// isolates Juggler's recovery latency from congestion control: the
+		// paper's CUBIC senders at datacenter RTTs tolerate 0.1%% loss.
+		res := runNetFPGABulk(netfpgaRun{
+			tau: 250 * time.Microsecond, jcfg: jcfg, kind: testbed.OffloadJuggler,
+			dropProb: 0.001, seed: o.Seed,
+			coalesce:  coalesceTimeBound(),
+			senderCfg: tcp.SenderConfig{RTOMin: 5 * time.Millisecond, FixedWindow: true},
+		}, o.scale(100*time.Millisecond), o.scale(400*time.Millisecond))
+		t.Add(fMs(ot.Seconds()), fGbps(float64(res.throughput)))
+	}
+	t.Note("paper: throughput lost only when ofo_timeout > ~100ms; here the decline begins once ofo_timeout approaches the pipe's worth of window (ms scale), since every loss stalls delivery for the full timeout")
+	return t
+}
+
+func init() {
+	register("fig12", "batching extent & CPU vs inseq_timeout", fig12)
+	register("fig13", "throughput vs ofo_timeout under reordering", fig13)
+	register("fig14", "RPC p99 vs ofo_timeout with drops", fig14)
+	register("fig15", "active flows vs concurrent flows", fig15)
+	register("lossofo", "throughput vs ofo_timeout at 0.1% loss (§5.2.1)", lossOfo)
+}

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// Sink is anything that can accept a packet from the fabric: a switch, a
+// delay element, a host NIC, a drop injector.
+type Sink interface {
+	Deliver(p *packet.Packet)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(p *packet.Packet)
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(p *packet.Packet) { f(p) }
+
+// Port is a serializing egress: a queue drained at link rate, feeding a
+// remote Sink after a propagation delay. It is the single source of
+// queueing delay in the simulated network.
+type Port struct {
+	Name string
+
+	sim   *sim.Sim
+	rate  units.BitRate
+	prop  time.Duration
+	queue Queue
+	dst   Sink
+
+	busy bool
+
+	// TxPkts / TxBytes count transmitted traffic.
+	TxPkts  int64
+	TxBytes int64
+
+	// Probe, when non-nil, samples queue occupancy at each enqueue.
+	Probe *OccupancyProbe
+}
+
+// NewPort creates a port transmitting at rate with propagation delay prop
+// through queue q into dst.
+func NewPort(s *sim.Sim, name string, rate units.BitRate, prop time.Duration, q Queue, dst Sink) *Port {
+	if q == nil {
+		q = NewDropTail(0)
+	}
+	if dst == nil {
+		panic("fabric: port with nil destination")
+	}
+	return &Port{Name: name, sim: s, rate: rate, prop: prop, queue: q, dst: dst}
+}
+
+// Rate returns the port's link rate.
+func (pt *Port) Rate() units.BitRate { return pt.rate }
+
+// Queue returns the port's queue (for stats inspection).
+func (pt *Port) Queue() Queue { return pt.queue }
+
+// Send enqueues p for transmission; if the queue rejects it the packet is
+// silently dropped (the queue records the drop).
+func (pt *Port) Send(p *packet.Packet) {
+	if pt.Probe != nil {
+		pt.Probe.Observe(pt.queue.Bytes())
+	}
+	if !pt.queue.Enqueue(p) {
+		return
+	}
+	if !pt.busy {
+		pt.kick()
+	}
+}
+
+// Deliver implements Sink so a Port can terminate another element (e.g. a
+// delay switch's merge point) directly.
+func (pt *Port) Deliver(p *packet.Packet) { pt.Send(p) }
+
+// kick starts transmitting the head-of-line packet.
+func (pt *Port) kick() {
+	p := pt.queue.Dequeue()
+	if p == nil {
+		pt.busy = false
+		return
+	}
+	pt.busy = true
+	txTime := units.TxTime(p.WireLen(), pt.rate)
+	pt.sim.Schedule(txTime, func() {
+		pt.TxPkts++
+		pt.TxBytes += int64(p.WireLen())
+		if pt.prop > 0 {
+			pt.sim.Schedule(pt.prop, func() { pt.dst.Deliver(p) })
+		} else {
+			pt.dst.Deliver(p)
+		}
+		pt.kick()
+	})
+}
+
+// Idle reports whether the port is neither transmitting nor backlogged.
+func (pt *Port) Idle() bool { return !pt.busy && pt.queue.Len() == 0 }

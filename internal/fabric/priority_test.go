@@ -1,0 +1,115 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// TestStrictPriorityStarvation: under persistent overload, the high class
+// monopolizes the link and the low class is starved — the property the
+// bandwidth-guarantee mechanism exploits (and the reason guarantees must
+// be feasible).
+func TestStrictPriorityStarvation(t *testing.T) {
+	s := sim.New(1)
+	var hi, lo int64
+	dst := SinkFunc(func(p *packet.Packet) {
+		if p.Priority == packet.PrioHigh {
+			hi++
+		} else {
+			lo++
+		}
+	})
+	pt := NewPort(s, "p", units.Rate10G, 0, NewStrictPriority(0, 0), dst)
+	// Offer 2x line rate, half high half low, arriving in pairs.
+	for i := 0; i < 2000; i++ {
+		at := time.Duration(i) * 1230 * time.Nanosecond / 2
+		i := i
+		s.Schedule(at, func() {
+			h := &packet.Packet{Flow: packet.FiveTuple{SrcIP: 1, DstIP: 2}, Seq: uint32(i), PayloadLen: units.MSS, Priority: packet.PrioHigh}
+			l := &packet.Packet{Flow: packet.FiveTuple{SrcIP: 3, DstIP: 4}, Seq: uint32(i), PayloadLen: units.MSS, Priority: packet.PrioLow}
+			pt.Send(h)
+			pt.Send(l)
+		})
+	}
+	s.RunFor(1400 * time.Microsecond) // ~half the offered span at line rate
+	if hi < 10*lo {
+		t.Fatalf("strict priority should starve low class under overload: hi=%d lo=%d", hi, lo)
+	}
+}
+
+// TestPriorityInducedReordering: mixing priorities within one flow
+// reorders it exactly as §2.1 warns — low-priority packets sent first can
+// arrive after high-priority packets sent later.
+func TestPriorityInducedReordering(t *testing.T) {
+	s := sim.New(1)
+	var order []packet.Priority
+	dst := SinkFunc(func(p *packet.Packet) { order = append(order, p.Priority) })
+	pt := NewPort(s, "p", units.Rate10G, 0, NewStrictPriority(0, 0), dst)
+	flow := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 1, DstPort: 2, Proto: packet.ProtoTCP}
+	// Enqueue 5 low then 5 high at the same instant: the high ones jump.
+	for i := 0; i < 5; i++ {
+		pt.Send(&packet.Packet{Flow: flow, Seq: uint32(i), PayloadLen: units.MSS, Priority: packet.PrioLow})
+	}
+	for i := 5; i < 10; i++ {
+		pt.Send(&packet.Packet{Flow: flow, Seq: uint32(i), PayloadLen: units.MSS, Priority: packet.PrioHigh})
+	}
+	s.Run()
+	if len(order) != 10 {
+		t.Fatalf("delivered %d", len(order))
+	}
+	// The first delivered packet was already in service (low), but all
+	// four remaining high-priority packets must precede the queued lows.
+	hiSeen := 0
+	for _, pr := range order[1:6] {
+		if pr == packet.PrioHigh {
+			hiSeen++
+		}
+	}
+	if hiSeen != 5 {
+		t.Fatalf("high class should jump the queue: order=%v", order)
+	}
+}
+
+func TestPriorityClassStats(t *testing.T) {
+	sp := NewStrictPriority(2*units.MTU, 0)
+	for i := 0; i < 3; i++ {
+		p := &packet.Packet{Flow: packet.FiveTuple{SrcIP: 1}, Seq: uint32(i), PayloadLen: units.MSS, Priority: packet.PrioLow}
+		sp.Enqueue(p)
+	}
+	if sp.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1 (per-class capacity)", sp.Drops())
+	}
+	if sp.Class(int(packet.PrioLow)).Len() != 2 {
+		t.Fatal("low class should hold 2 packets")
+	}
+	if sp.Class(int(packet.PrioHigh)).Len() != 0 {
+		t.Fatal("high class should be empty")
+	}
+	// Out-of-range priority clamps to the lowest class rather than
+	// panicking.
+	fresh := NewStrictPriority(0, 0)
+	weird := &packet.Packet{Flow: packet.FiveTuple{SrcIP: 9}, PayloadLen: 100, Priority: 7}
+	if !fresh.Enqueue(weird) {
+		t.Fatal("out-of-range priority should clamp and enqueue")
+	}
+	if fresh.Class(int(packet.NumPriorities)-1).Len() != 1 {
+		t.Fatal("clamped packet should land in the lowest class")
+	}
+}
+
+func TestECNWithPriorityQueues(t *testing.T) {
+	sp := NewStrictPriority(0, 2*units.MTU)
+	var last *packet.Packet
+	for i := 0; i < 3; i++ {
+		p := &packet.Packet{Flow: packet.FiveTuple{SrcIP: 1}, Seq: uint32(i), PayloadLen: units.MSS, Priority: packet.PrioLow}
+		sp.Enqueue(p)
+		last = p
+	}
+	if !last.CE {
+		t.Fatal("third packet should be CE-marked above the per-class threshold")
+	}
+}

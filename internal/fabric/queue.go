@@ -1,0 +1,184 @@
+// Package fabric models the datacenter network: output-queued switch
+// ports, drop-tail and ECN-marking queues, strict-priority scheduling,
+// links with serialization and propagation delay, the NetFPGA-style delay
+// switch of Figure 11, and a two-stage Clos topology builder (Figure 19).
+//
+// The fabric is intentionally output-queued and work-conserving: reordering
+// in the simulation arises for the same reasons as in the paper — different
+// queueing delays on different paths or priority levels — never from
+// modelling artifacts.
+package fabric
+
+import (
+	"juggler/internal/packet"
+	"juggler/internal/stats"
+)
+
+// Queue is an egress packet queue. Implementations decide drop and marking
+// policy; the owning Port drains it in order at link rate.
+type Queue interface {
+	// Enqueue offers a packet; it returns false when the packet is
+	// dropped (queue full).
+	Enqueue(p *packet.Packet) bool
+	// Dequeue removes and returns the next packet, or nil when empty.
+	Dequeue() *packet.Packet
+	// Bytes returns the queued payload+header byte count.
+	Bytes() int
+	// Len returns the queued packet count.
+	Len() int
+}
+
+// fifo is the common ring storage shared by the queue implementations.
+type fifo struct {
+	pkts  []*packet.Packet
+	head  int
+	bytes int
+}
+
+func (f *fifo) push(p *packet.Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.WireLen()
+}
+
+func (f *fifo) pop() *packet.Packet {
+	if f.head >= len(f.pkts) {
+		return nil
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	f.bytes -= p.WireLen()
+	// Compact occasionally so memory stays bounded.
+	if f.head > 1024 && f.head*2 >= len(f.pkts) {
+		n := copy(f.pkts, f.pkts[f.head:])
+		f.pkts = f.pkts[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) len() int { return len(f.pkts) - f.head }
+
+// DropTail is a byte-capacity-bounded FIFO queue.
+type DropTail struct {
+	q fifo
+	// CapBytes is the queue capacity; 0 means unbounded.
+	CapBytes int
+	// MarkBytes, when > 0, ECN-marks (sets CE on) packets that arrive to
+	// find at least MarkBytes queued — DCTCP-style instantaneous marking.
+	MarkBytes int
+	// Drops counts packets rejected for lack of space.
+	Drops int64
+}
+
+// NewDropTail creates a queue holding at most capBytes (0 = unbounded).
+func NewDropTail(capBytes int) *DropTail { return &DropTail{CapBytes: capBytes} }
+
+// NewECN creates a capacity-bounded queue that marks CE above markBytes.
+func NewECN(capBytes, markBytes int) *DropTail {
+	return &DropTail{CapBytes: capBytes, MarkBytes: markBytes}
+}
+
+// Enqueue implements Queue.
+func (d *DropTail) Enqueue(p *packet.Packet) bool {
+	if d.CapBytes > 0 && d.q.bytes+p.WireLen() > d.CapBytes {
+		d.Drops++
+		return false
+	}
+	if d.MarkBytes > 0 && d.q.bytes >= d.MarkBytes {
+		p.CE = true
+	}
+	d.q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (d *DropTail) Dequeue() *packet.Packet { return d.q.pop() }
+
+// Bytes implements Queue.
+func (d *DropTail) Bytes() int { return d.q.bytes }
+
+// Len implements Queue.
+func (d *DropTail) Len() int { return d.q.len() }
+
+// StrictPriority serves class 0 exhaustively before class 1, and so on —
+// the two-level strict-priority queue used by the bandwidth-guarantee
+// experiments (§2.1, Figure 17).
+type StrictPriority struct {
+	classes [packet.NumPriorities]*DropTail
+}
+
+// NewStrictPriority creates a strict-priority queue whose classes each hold
+// capBytes (0 = unbounded) and mark above markBytes (0 = no marking).
+func NewStrictPriority(capBytes, markBytes int) *StrictPriority {
+	sp := &StrictPriority{}
+	for i := range sp.classes {
+		sp.classes[i] = &DropTail{CapBytes: capBytes, MarkBytes: markBytes}
+	}
+	return sp
+}
+
+// Enqueue implements Queue, dispatching on the packet's priority.
+func (sp *StrictPriority) Enqueue(p *packet.Packet) bool {
+	pr := p.Priority
+	if int(pr) >= len(sp.classes) {
+		pr = packet.NumPriorities - 1
+	}
+	return sp.classes[pr].Enqueue(p)
+}
+
+// Dequeue implements Queue: highest priority (lowest class index) first.
+func (sp *StrictPriority) Dequeue() *packet.Packet {
+	for _, c := range sp.classes {
+		if p := c.Dequeue(); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// Bytes implements Queue.
+func (sp *StrictPriority) Bytes() int {
+	n := 0
+	for _, c := range sp.classes {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// Len implements Queue.
+func (sp *StrictPriority) Len() int {
+	n := 0
+	for _, c := range sp.classes {
+		n += c.Len()
+	}
+	return n
+}
+
+// Drops returns the total packets dropped across classes.
+func (sp *StrictPriority) Drops() int64 {
+	var n int64
+	for _, c := range sp.classes {
+		n += c.Drops
+	}
+	return n
+}
+
+// Class exposes one priority class (for per-class stats).
+func (sp *StrictPriority) Class(i int) *DropTail { return sp.classes[i] }
+
+// OccupancyProbe samples queue occupancy for the buffer-buildup statistics
+// quoted in §5.3.2.
+type OccupancyProbe struct {
+	W stats.Welford
+	// MaxBytes tracks the high-water mark.
+	MaxBytes int
+}
+
+// Observe records one occupancy sample.
+func (o *OccupancyProbe) Observe(bytes int) {
+	o.W.Add(float64(bytes))
+	if bytes > o.MaxBytes {
+		o.MaxBytes = bytes
+	}
+}

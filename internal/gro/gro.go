@@ -1,0 +1,164 @@
+// Package gro models the Generic Receive Offload layer at the entry of the
+// network stack (§3 of the paper), providing:
+//
+//   - the Offload interface shared with Juggler (internal/core);
+//   - Vanilla, today's Linux GRO: per-poll in-sequence batching that
+//     flushes on any out-of-order arrival and at every poll completion;
+//   - LinkedList, the §3.1 strawman that batches packets regardless of
+//     order by chaining sk_buffs (cheaper protocol-wise, ~50% more CPU);
+//   - Null, offload disabled (every packet delivered individually).
+package gro
+
+import (
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+// Deliver is the upcall through which flushed segments enter the rest of
+// the stack (netfilter, TCP).
+type Deliver func(seg *packet.Segment)
+
+// Counters are the cumulative statistics every offload implementation
+// exposes; the NIC driver samples them around each poll to charge the CPU
+// model.
+type Counters struct {
+	// Packets is the number of wire packets examined.
+	Packets int64
+	// Segments is the number of segments flushed up the stack.
+	Segments int64
+	// OOOWork counts packets that needed out-of-order bookkeeping
+	// (Juggler's extra per-packet cost; zero for vanilla GRO).
+	OOOWork int64
+	// MergedPkts accumulates packets that were merged into multi-packet
+	// segments, for batching-extent statistics.
+	MergedPkts int64
+}
+
+// Offload is the receive-offload layer interface: the NIC driver feeds it
+// packets during a NAPI poll and signals poll completion.
+type Offload interface {
+	// Receive handles one packet within the current polling interval.
+	Receive(p *packet.Packet)
+	// PollComplete is invoked when the driver finishes a polling interval.
+	PollComplete()
+	// Counters returns cumulative statistics.
+	Counters() Counters
+}
+
+// Null is offload disabled: every packet is delivered as its own segment.
+type Null struct {
+	deliver Deliver
+	c       Counters
+}
+
+// NewNull creates a pass-through offload.
+func NewNull(d Deliver) *Null { return &Null{deliver: d} }
+
+// Receive implements Offload.
+func (n *Null) Receive(p *packet.Packet) {
+	n.c.Packets++
+	n.c.Segments++
+	n.deliver(packet.FromPacket(p))
+}
+
+// PollComplete implements Offload.
+func (n *Null) PollComplete() {}
+
+// Counters implements Offload.
+func (n *Null) Counters() Counters { return n.c }
+
+// Vanilla is today's GRO: it assumes the first packet of a flow in a batch
+// is in sequence and merges packets while arrivals stay in sequence-number
+// order; it flushes when the merged segment exceeds 64 KB, when the next
+// packet is not in sequence, and at every poll completion.
+type Vanilla struct {
+	deliver Deliver
+	c       Counters
+
+	// merges holds the per-flow in-progress segment for the current poll,
+	// with a parallel slice preserving deterministic flush order (onOrder
+	// dedupes so flush/restart churn within one long polling interval
+	// cannot grow it unboundedly).
+	merges  map[packet.FiveTuple]*packet.Segment
+	order   []packet.FiveTuple
+	onOrder map[packet.FiveTuple]bool
+}
+
+// NewVanilla creates a standard GRO instance.
+func NewVanilla(d Deliver) *Vanilla {
+	return &Vanilla{
+		deliver: d,
+		merges:  map[packet.FiveTuple]*packet.Segment{},
+		onOrder: map[packet.FiveTuple]bool{},
+	}
+}
+
+// Receive implements Offload.
+func (g *Vanilla) Receive(p *packet.Packet) {
+	g.c.Packets++
+	if p.PassThrough() {
+		g.flushFlow(p.Flow) // control packets end any in-progress merge
+		g.emit(packet.FromPacket(p))
+		return
+	}
+	seg := g.merges[p.Flow]
+	if seg == nil {
+		g.start(p)
+		return
+	}
+	if seg.CanAppend(p, units.TSOMaxBytes) {
+		seg.Append(p)
+		if seg.Sealed() || seg.Bytes+units.MSS > units.TSOMaxBytes {
+			g.flushFlow(p.Flow)
+		}
+		return
+	}
+	// Out of sequence, incompatible, or size-limited: flush the old merge
+	// and start fresh from this packet — exactly the behaviour whose CPU
+	// cost collapses under reordering.
+	g.flushFlow(p.Flow)
+	g.start(p)
+}
+
+func (g *Vanilla) start(p *packet.Packet) {
+	seg := packet.FromPacket(p)
+	if seg.Sealed() {
+		g.emit(seg)
+		return
+	}
+	g.merges[p.Flow] = seg
+	if !g.onOrder[p.Flow] {
+		g.onOrder[p.Flow] = true
+		g.order = append(g.order, p.Flow)
+	}
+}
+
+func (g *Vanilla) flushFlow(ft packet.FiveTuple) {
+	seg := g.merges[ft]
+	if seg == nil {
+		return
+	}
+	delete(g.merges, ft)
+	g.emit(seg)
+}
+
+func (g *Vanilla) emit(seg *packet.Segment) {
+	g.c.Segments++
+	if seg.Pkts > 1 {
+		g.c.MergedPkts += int64(seg.Pkts)
+	}
+	g.deliver(seg)
+}
+
+// PollComplete implements Offload: standard GRO flushes all its packets and
+// starts fresh from the next polling interval.
+func (g *Vanilla) PollComplete() {
+	for _, ft := range g.order {
+		g.flushFlow(ft)
+		delete(g.onOrder, ft)
+	}
+	g.order = g.order[:0]
+}
+
+// Counters implements Offload.
+func (g *Vanilla) Counters() Counters { return g.c }

@@ -1,0 +1,284 @@
+package gro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+var flow = packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.ProtoTCP}
+
+func pkt(seq uint32, n int) *packet.Packet {
+	return &packet.Packet{Flow: flow, Seq: seq, PayloadLen: n, Flags: packet.FlagACK}
+}
+
+type sink struct{ segs []*packet.Segment }
+
+func (s *sink) add(seg *packet.Segment) { s.segs = append(s.segs, seg) }
+
+func TestNullDeliversEverythingIndividually(t *testing.T) {
+	var out sink
+	n := NewNull(out.add)
+	for i := 0; i < 5; i++ {
+		n.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	n.PollComplete()
+	if len(out.segs) != 5 {
+		t.Fatalf("segments = %d, want 5", len(out.segs))
+	}
+	c := n.Counters()
+	if c.Packets != 5 || c.Segments != 5 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestVanillaMergesInOrder(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	for i := 0; i < 10; i++ {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	if len(out.segs) != 1 {
+		t.Fatalf("segments = %d, want 1", len(out.segs))
+	}
+	if out.segs[0].Pkts != 10 || out.segs[0].Bytes != 10*units.MSS {
+		t.Fatalf("segment = %+v", out.segs[0])
+	}
+}
+
+func TestVanillaFlushesOnOutOfOrder(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	g.Receive(pkt(0, units.MSS))
+	g.Receive(pkt(uint32(units.MSS), units.MSS))
+	g.Receive(pkt(uint32(4*units.MSS), units.MSS)) // gap: flush [0,2*MSS), start new
+	g.Receive(pkt(uint32(2*units.MSS), units.MSS)) // backwards: flush again
+	g.PollComplete()
+	if len(out.segs) != 3 {
+		t.Fatalf("segments = %d, want 3 (merge broken by reordering)", len(out.segs))
+	}
+	if out.segs[0].Pkts != 2 {
+		t.Fatalf("first segment should hold the in-order pair, got %d pkts", out.segs[0].Pkts)
+	}
+}
+
+func TestVanillaFlushAt64KB(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	// 50 MSS packets: the 64KB cap (44 MSS) must force an intermediate flush.
+	for i := 0; i < 50; i++ {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	if len(out.segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(out.segs))
+	}
+	if out.segs[0].Pkts != 44 {
+		t.Fatalf("first segment = %d pkts, want 44", out.segs[0].Pkts)
+	}
+	if out.segs[0].Bytes > units.TSOMaxBytes {
+		t.Fatalf("segment exceeds 64KB: %d", out.segs[0].Bytes)
+	}
+}
+
+func TestVanillaPSHFlushesImmediately(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	g.Receive(pkt(0, units.MSS))
+	p := pkt(uint32(units.MSS), 100)
+	p.Flags |= packet.FlagPSH
+	g.Receive(p)
+	if len(out.segs) != 1 {
+		t.Fatalf("PSH should flush the merge immediately, segs=%d", len(out.segs))
+	}
+	if out.segs[0].Pkts != 2 || !out.segs[0].Flags.Has(packet.FlagPSH) {
+		t.Fatalf("segment = %+v", out.segs[0])
+	}
+}
+
+func TestVanillaPureACKPassesThrough(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	g.Receive(pkt(0, units.MSS))
+	ack := &packet.Packet{Flow: flow, Flags: packet.FlagACK, AckSeq: 500}
+	g.Receive(ack)
+	// The ACK ends the merge (flush) and passes through itself.
+	if len(out.segs) != 2 {
+		t.Fatalf("segs = %d, want 2", len(out.segs))
+	}
+	if out.segs[1].Bytes != 0 {
+		t.Fatal("ACK segment should carry no payload")
+	}
+}
+
+func TestVanillaPollCompleteResets(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	g.Receive(pkt(0, units.MSS))
+	g.PollComplete()
+	g.Receive(pkt(uint32(units.MSS), units.MSS))
+	g.PollComplete()
+	if len(out.segs) != 2 {
+		t.Fatalf("segs = %d, want 2 (no merging across polls)", len(out.segs))
+	}
+}
+
+func TestVanillaMultipleFlows(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	flow2 := flow
+	flow2.SrcPort = 99
+	for i := 0; i < 4; i++ {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+		p := pkt(uint32(i*units.MSS), units.MSS)
+		p.Flow = flow2
+		g.Receive(p)
+	}
+	g.PollComplete()
+	if len(out.segs) != 2 {
+		t.Fatalf("segs = %d, want one per flow", len(out.segs))
+	}
+	if out.segs[0].Pkts != 4 || out.segs[1].Pkts != 4 {
+		t.Fatal("interleaved flows should each merge fully")
+	}
+}
+
+func TestVanillaSegmentExplosionUnderReordering(t *testing.T) {
+	// The headline CPU problem: with every other packet displaced, vanilla
+	// GRO produces ~one segment per packet.
+	var out sink
+	g := NewVanilla(out.add)
+	const n = 44
+	for i := 0; i < n; i += 2 { // even then odd: 0,2,4..., 1,3,5...
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	for i := 1; i < n; i += 2 {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	if len(out.segs) != n {
+		t.Fatalf("segs = %d, want %d (no merging possible)", len(out.segs), n)
+	}
+}
+
+func TestLinkedListMergesDespiteReordering(t *testing.T) {
+	var out sink
+	g := NewLinkedList(out.add)
+	const n = 20
+	for i := 0; i < n; i += 2 {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	for i := 1; i < n; i += 2 {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	if len(out.segs) != 1 {
+		t.Fatalf("segs = %d, want 1", len(out.segs))
+	}
+	seg := out.segs[0]
+	if seg.Kind != packet.MergeLinkedList {
+		t.Fatal("segment should be linked-list kind")
+	}
+	if seg.Pkts != n || seg.Bytes != n*units.MSS {
+		t.Fatalf("segment = %+v", seg)
+	}
+	// Ranges must cover all bytes exactly once.
+	covered := 0
+	for _, r := range seg.PayloadRanges() {
+		covered += r.Len
+	}
+	if covered != n*units.MSS {
+		t.Fatalf("ranges cover %d bytes, want %d", covered, n*units.MSS)
+	}
+	if seg.Seq != 0 {
+		t.Fatalf("seg.Seq = %d, want lowest seq 0", seg.Seq)
+	}
+}
+
+func TestLinkedListContiguousRangeCoalescing(t *testing.T) {
+	var out sink
+	g := NewLinkedList(out.add)
+	for i := 0; i < 5; i++ { // fully in order: one range
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	if got := len(out.segs[0].PayloadRanges()); got != 1 {
+		t.Fatalf("in-order linked-list merge should coalesce to 1 range, got %d", got)
+	}
+}
+
+func TestLinkedList64KBLimit(t *testing.T) {
+	var out sink
+	g := NewLinkedList(out.add)
+	for i := 0; i < 50; i++ {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	if len(out.segs) != 2 {
+		t.Fatalf("segs = %d, want 2", len(out.segs))
+	}
+	if out.segs[0].Bytes > units.TSOMaxBytes {
+		t.Fatal("linked-list segment exceeded 64KB")
+	}
+	c := g.Counters()
+	if c.Packets != 50 {
+		t.Fatalf("packet counter = %d, want 50", c.Packets)
+	}
+}
+
+func TestCountersMergedPkts(t *testing.T) {
+	var out sink
+	g := NewVanilla(out.add)
+	for i := 0; i < 10; i++ {
+		g.Receive(pkt(uint32(i*units.MSS), units.MSS))
+	}
+	g.PollComplete()
+	c := g.Counters()
+	if c.MergedPkts != 10 || c.Segments != 1 || c.Packets != 10 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// Property: vanilla GRO conserves bytes for any arrival pattern — every
+// payload byte received is delivered exactly once across flushes.
+func TestPropertyVanillaByteConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var out sink
+		g := NewVanilla(out.add)
+		sent := 0
+		for i, op := range ops {
+			fl := flow
+			fl.SrcPort = uint16(op>>13) + 1
+			n := int(op)%units.MSS + 1
+			p := &packet.Packet{
+				Flow: fl, Seq: uint32(op) * 7, PayloadLen: n,
+				Flags: packet.FlagACK,
+			}
+			if op&0x40 != 0 {
+				p.Flags |= packet.FlagPSH
+			}
+			g.Receive(p)
+			sent += n
+			if i%17 == 16 {
+				g.PollComplete()
+			}
+		}
+		g.PollComplete()
+		got := 0
+		for _, seg := range out.segs {
+			got += seg.Bytes
+		}
+		return got == sent
+	}
+	if err := testingQuickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testingQuickCheck keeps the quick import local to this test.
+func testingQuickCheck(f func(ops []uint16) bool) error {
+	return quick.Check(f, &quick.Config{MaxCount: 200})
+}

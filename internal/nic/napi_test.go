@@ -1,0 +1,97 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/cpumodel"
+	"juggler/internal/gro"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+)
+
+// TestPollCompleteOnlyAtRingEmpty verifies the NAPI semantics the batching
+// results depend on: GRO's flush point (PollComplete) fires when the
+// polling interval ends — ring found empty — not after every sub-batch.
+func TestPollCompleteOnlyAtRingEmpty(t *testing.T) {
+	s := sim.New(1)
+	cpu := cpumodel.New(s, cpumodel.DefaultCosts())
+	var segs []*packet.Segment
+	rx := NewRX(s, RXConfig{Queues: 1, CoalesceDelay: time.Second, CoalesceFrames: 8}, cpu,
+		func(int) gro.Offload {
+			return gro.NewVanilla(func(seg *packet.Segment) { segs = append(segs, seg) })
+		})
+	// Deliver 8 packets at once (fires the frame bound) and 8 more spaced
+	// so they land while the first batch is being serviced: one polling
+	// episode, one flush, one merged segment of 16.
+	for i := 0; i < 8; i++ {
+		rx.Deliver(dataPkt(i))
+	}
+	for i := 8; i < 16; i++ {
+		i := i
+		s.Schedule(time.Duration(i-7)*200*time.Nanosecond, func() { rx.Deliver(dataPkt(i)) })
+	}
+	s.RunFor(10 * time.Millisecond)
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d, want 1 (single polling interval)", len(segs))
+	}
+	if segs[0].Pkts != 16 {
+		t.Fatalf("merged %d packets, want 16", segs[0].Pkts)
+	}
+	if got := rx.Queue(0).Episodes; got != 1 {
+		t.Fatalf("episodes = %d, want 1", got)
+	}
+	if rx.Queue(0).Polls < 2 {
+		t.Fatalf("polls = %d, want multiple drains within the episode", rx.Queue(0).Polls)
+	}
+}
+
+// TestMaxPollIntervalFlushes: a polling episode that never drains still
+// flushes every 2ms (the kernel's poll bound), so GRO cannot hold packets
+// indefinitely under saturation.
+func TestMaxPollIntervalFlushes(t *testing.T) {
+	s := sim.New(1)
+	// Pathologically slow RX core: service far slower than arrivals.
+	costs := cpumodel.DefaultCosts()
+	costs.DriverPerPacket = 100 * time.Microsecond
+	cpu := cpumodel.New(s, costs)
+	var segs []*packet.Segment
+	rx := NewRX(s, RXConfig{Queues: 1, CoalesceDelay: 10 * time.Microsecond}, cpu,
+		func(int) gro.Offload {
+			return gro.NewVanilla(func(seg *packet.Segment) { segs = append(segs, seg) })
+		})
+	// Continuous arrivals for 5ms: the ring never empties within the run.
+	for i := 0; i < 500; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*10*time.Microsecond, func() { rx.Deliver(dataPkt(i)) })
+	}
+	s.RunFor(30 * time.Millisecond) // service is 100us/pkt: drain takes ~50ms
+	if len(segs) == 0 {
+		t.Fatal("the 2ms poll bound should have forced at least one flush")
+	}
+	if got := rx.Queue(0).Episodes; got < 2 {
+		t.Fatalf("episodes = %d, want >= 2 under sustained overload", got)
+	}
+}
+
+// TestCoalesceTimerMeasuresFromFirstPacket: the interrupt fires
+// CoalesceDelay after the first unserviced packet, not the last.
+func TestCoalesceTimerMeasuresFromFirstPacket(t *testing.T) {
+	s := sim.New(1)
+	cpu := cpumodel.New(s, cpumodel.DefaultCosts())
+	var at sim.Time
+	rx := NewRX(s, RXConfig{Queues: 1, CoalesceDelay: 100 * time.Microsecond}, cpu,
+		func(int) gro.Offload {
+			return gro.NewNull(func(seg *packet.Segment) { at = s.Now() })
+		})
+	rx.Deliver(dataPkt(0))
+	// More packets trickle in; they must not push the interrupt out.
+	for i := 1; i < 5; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*20*time.Microsecond, func() { rx.Deliver(dataPkt(i)) })
+	}
+	s.RunFor(time.Millisecond)
+	if at != sim.Time(100*time.Microsecond) {
+		t.Fatalf("first delivery at %v, want exactly the 100us coalesce bound", at)
+	}
+}

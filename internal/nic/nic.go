@@ -1,0 +1,280 @@
+// Package nic models the network interface card on both sides:
+//
+//   - TX: TCP Segmentation Offload (TSO) — the host hands the NIC up to
+//     64 KB super-segments which the NIC cuts into MTU packets emitted back
+//     to back at line rate, the cause of the ON/OFF burstiness (§4.3) that
+//     lets Juggler track so few flows;
+//   - RX: Receive-Side Scaling (RSS) hashing of flows to receive queues,
+//     interrupt coalescing (a time bound and a frame-count bound), and the
+//     NAPI polling loop that drains the ring and feeds the receive-offload
+//     layer, charging the RX core via the CPU model.
+package nic
+
+import (
+	"time"
+
+	"juggler/internal/cpumodel"
+	"juggler/internal/fabric"
+	"juggler/internal/gro"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/stats"
+	"juggler/internal/units"
+)
+
+// TX is the transmit side: it segments TSO super-segments into wire packets
+// and enqueues them on the host's egress port.
+type TX struct {
+	sim  *sim.Sim
+	port *fabric.Port
+
+	nextTSOID uint64
+
+	// TSOBursts / TxPackets count emitted traffic.
+	TSOBursts int64
+	TxPackets int64
+}
+
+// NewTX creates a transmit engine bound to the host egress port.
+func NewTX(s *sim.Sim, port *fabric.Port) *TX {
+	return &TX{sim: s, port: port}
+}
+
+// SendTSO emits one super-segment of payloadLen bytes (<= 64 KB) starting
+// at seq on the given flow. The template supplies flags, priority, options
+// signature and path tag; flags that terminate a segment (PSH/FIN) are set
+// only on the last packet. Every packet of the burst shares one TSOID.
+func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
+	if payloadLen <= 0 {
+		panic("nic: empty TSO")
+	}
+	if payloadLen > units.TSOMaxBytes {
+		panic("nic: TSO larger than 64KB")
+	}
+	tx.nextTSOID++
+	tx.TSOBursts++
+	id := tx.nextTSOID
+	endFlags := tmpl.Flags
+	midFlags := tmpl.Flags &^ (packet.FlagPSH | packet.FlagFIN | packet.FlagURG)
+	for off := 0; off < payloadLen; off += units.MSS {
+		n := units.MSS
+		last := off+n >= payloadLen
+		if last {
+			n = payloadLen - off
+		}
+		p := tmpl // copy
+		p.Seq = seq + uint32(off)
+		p.PayloadLen = n
+		p.TSOID = id
+		p.SentAt = tx.sim.Now()
+		if last {
+			p.Flags = endFlags
+		} else {
+			p.Flags = midFlags
+		}
+		tx.TxPackets++
+		tx.port.Send(&p)
+	}
+}
+
+// SendRaw transmits a single pre-built packet (ACKs, control).
+func (tx *TX) SendRaw(p *packet.Packet) {
+	p.SentAt = tx.sim.Now()
+	tx.TxPackets++
+	tx.port.Send(p)
+}
+
+// RXConfig tunes the receive path.
+type RXConfig struct {
+	// Queues is the number of RX queues; each owns a private offload
+	// instance (GRO or Juggler operate per receive queue).
+	Queues int
+
+	// CoalesceDelay is the interrupt-coalescing time bound τ0: a packet
+	// waits at most this long in the ring before an interrupt fires. The
+	// paper's testbed measures 125us.
+	CoalesceDelay time.Duration
+
+	// CoalesceFrames fires the interrupt early once this many frames wait
+	// (0 = no frame bound).
+	CoalesceFrames int
+
+	// SteerToQueue0, when true, aims all flows at queue 0 regardless of
+	// RSS — the paper's CPU experiments do this deliberately.
+	SteerToQueue0 bool
+
+	// RSSSalt perturbs the RSS hash.
+	RSSSalt uint32
+}
+
+// DefaultRXConfig mirrors the paper's testbed NIC: 125us coalescing with a
+// 32-frame bound.
+func DefaultRXConfig() RXConfig {
+	return RXConfig{
+		Queues:         1,
+		CoalesceDelay:  125 * time.Microsecond,
+		CoalesceFrames: 32,
+	}
+}
+
+// RX is the receive side: RSS steering into per-queue rings, interrupt
+// coalescing, NAPI polls that feed the offload layer and charge the RX
+// core.
+type RX struct {
+	sim *sim.Sim
+	cfg RXConfig
+	cpu *cpumodel.Model
+
+	queues []*rxQueue
+
+	// RxPackets counts packets accepted from the wire.
+	RxPackets int64
+}
+
+// rxQueue is one receive queue: ring, coalescing timer, offload instance.
+type rxQueue struct {
+	rx      *RX
+	idx     int
+	ring    []*packet.Packet
+	offload gro.Offload
+
+	coalesce     *sim.Timer
+	polling      bool
+	episodeStart sim.Time
+
+	// Polls counts NAPI poll batches; BatchSizes samples packets per poll.
+	Polls      int64
+	BatchSizes stats.Hist
+	// Episodes counts polling intervals (interrupt to ring-empty), which
+	// bound GRO's batching interval.
+	Episodes int64
+}
+
+// maxPollInterval bounds one polling episode: the kernel polls "up to a
+// brief interval of time (at most 2 milliseconds)" before flushing (§3.1).
+const maxPollInterval = 2 * time.Millisecond
+
+// napiBudget caps how many packets one poll drains before yielding — the
+// kernel's per-poll budget (64). It bounds the service quantum so the
+// 2 ms episode limit can take effect even when the core is saturated.
+const napiBudget = 64
+
+// NewRX creates the receive engine. makeOffload constructs the per-queue
+// offload (GRO, Juggler, ...); it receives the queue index.
+func NewRX(s *sim.Sim, cfg RXConfig, cpu *cpumodel.Model, makeOffload func(queue int) gro.Offload) *RX {
+	if cfg.Queues <= 0 {
+		panic("nic: need at least one RX queue")
+	}
+	if cpu == nil {
+		panic("nic: RX requires a CPU model")
+	}
+	rx := &RX{sim: s, cfg: cfg, cpu: cpu}
+	for i := 0; i < cfg.Queues; i++ {
+		q := &rxQueue{rx: rx, idx: i, offload: makeOffload(i)}
+		q.coalesce = sim.NewTimer(s, q.interrupt)
+		rx.queues = append(rx.queues, q)
+	}
+	return rx
+}
+
+// Deliver implements fabric.Sink: a packet arrives from the wire.
+func (rx *RX) Deliver(p *packet.Packet) {
+	rx.RxPackets++
+	q := rx.queues[rx.pick(p)]
+	q.ring = append(q.ring, p)
+	if q.polling {
+		return // NAPI is draining; the packet will be seen by a later poll
+	}
+	if rx.cfg.CoalesceFrames > 0 && len(q.ring) >= rx.cfg.CoalesceFrames {
+		q.interrupt()
+		return
+	}
+	q.coalesce.ArmIfIdle(rx.cfg.CoalesceDelay)
+}
+
+// pick selects the RX queue for a packet.
+func (rx *RX) pick(p *packet.Packet) int {
+	if rx.cfg.SteerToQueue0 || len(rx.queues) == 1 {
+		return 0
+	}
+	return int(p.Flow.Hash(rx.cfg.RSSSalt)) % len(rx.queues)
+}
+
+// Queue returns queue i (stats, offload access).
+func (rx *RX) Queue(i int) RXQueueInfo {
+	q := rx.queues[i]
+	return RXQueueInfo{Offload: q.offload, Polls: q.Polls, Episodes: q.Episodes, BatchSizes: &q.BatchSizes}
+}
+
+// NumQueues returns the configured queue count.
+func (rx *RX) NumQueues() int { return len(rx.queues) }
+
+// Offload returns queue i's offload instance.
+func (rx *RX) Offload(i int) gro.Offload { return rx.queues[i].offload }
+
+// RXQueueInfo is a read-only view of one queue's statistics.
+type RXQueueInfo struct {
+	Offload    gro.Offload
+	Polls      int64
+	Episodes   int64
+	BatchSizes *stats.Hist
+}
+
+// interrupt switches the queue into polling mode; the kernel then polls
+// until it empties the queue (or hits the 2 ms bound).
+func (q *rxQueue) interrupt() {
+	if q.polling {
+		return
+	}
+	q.polling = true
+	q.episodeStart = q.rx.sim.Now()
+	q.coalesce.Stop()
+	q.poll()
+}
+
+// poll drains whatever is on the ring as one batch: packets go through the
+// offload layer and the batch's CPU cost is charged to the RX core, whose
+// service time paces the next drain — so a busy core naturally sees larger
+// (more efficient) batches. The polling interval ends — and the offload
+// layer flushes (PollComplete) — when the ring is found empty or the 2 ms
+// bound is hit, exactly like NAPI's napi_complete path.
+func (q *rxQueue) poll() {
+	now := q.rx.sim.Now()
+	if len(q.ring) == 0 || now.Sub(q.episodeStart) >= maxPollInterval {
+		// End of the polling interval: the offload layer flushes; leave
+		// polling mode unless the 2 ms bound cut a busy episode short.
+		q.Episodes++
+		q.offload.PollComplete()
+		if len(q.ring) == 0 {
+			q.polling = false
+			return
+		}
+		q.episodeStart = now
+	}
+	batch := q.ring
+	if len(batch) > napiBudget {
+		q.ring = append([]*packet.Packet(nil), batch[napiBudget:]...)
+		batch = batch[:napiBudget]
+	} else {
+		q.ring = nil
+	}
+	q.Polls++
+	q.BatchSizes.Observe(len(batch))
+
+	before := q.offload.Counters()
+	for _, p := range batch {
+		q.offload.Receive(p)
+	}
+	after := q.offload.Counters()
+
+	cost := q.rx.cpu.RXPollCost(
+		len(batch),
+		int(after.OOOWork-before.OOOWork),
+		int(after.Segments-before.Segments),
+	)
+	if cost <= 0 {
+		cost = time.Nanosecond
+	}
+	// Each RSS queue's IRQ is pinned to its own core.
+	q.rx.cpu.RXCore(q.idx).Submit(cost, q.poll)
+}

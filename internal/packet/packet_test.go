@@ -1,0 +1,331 @@
+package packet
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"juggler/internal/units"
+)
+
+func tuple(n int) FiveTuple {
+	return FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: uint16(10000 + n), DstPort: 80, Proto: ProtoTCP}
+}
+
+func TestReverse(t *testing.T) {
+	ft := tuple(1)
+	r := ft.Reverse()
+	if r.SrcIP != ft.DstIP || r.DstIP != ft.SrcIP || r.SrcPort != ft.DstPort || r.DstPort != ft.SrcPort {
+		t.Fatalf("reverse wrong: %v -> %v", ft, r)
+	}
+	if r.Reverse() != ft {
+		t.Fatal("double reverse should be identity")
+	}
+}
+
+func TestHashDeterministicAndSaltSensitive(t *testing.T) {
+	ft := tuple(3)
+	if ft.Hash(1) != ft.Hash(1) {
+		t.Fatal("hash must be deterministic")
+	}
+	if ft.Hash(1) == ft.Hash(2) {
+		t.Fatal("different salts should (almost surely) differ")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Hashing 4096 distinct flows into 16 buckets should be roughly even:
+	// each bucket within 2x of the mean.
+	const flows, buckets = 4096, 16
+	counts := make([]int, buckets)
+	for i := 0; i < flows; i++ {
+		ft := tuple(i)
+		counts[ft.Hash(0)%buckets]++
+	}
+	mean := flows / buckets
+	for b, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("bucket %d has %d flows, mean %d — poor distribution", b, c, mean)
+		}
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SYN|ACK" {
+		t.Fatalf("flags = %q", got)
+	}
+	if got := Flags(0).String(); got != "-" {
+		t.Fatalf("zero flags = %q", got)
+	}
+}
+
+func TestSeqArithmeticWraparound(t *testing.T) {
+	hi := uint32(math.MaxUint32 - 10)
+	lo := uint32(5) // logically after hi
+	if !SeqLess(hi, lo) {
+		t.Fatal("wraparound: hi should be < lo")
+	}
+	if SeqLess(lo, hi) {
+		t.Fatal("wraparound: lo should not be < hi")
+	}
+	if SeqMax(hi, lo) != lo || SeqMin(hi, lo) != hi {
+		t.Fatal("SeqMax/SeqMin wrong across wrap")
+	}
+	if !SeqLEQ(7, 7) {
+		t.Fatal("SeqLEQ must be reflexive")
+	}
+}
+
+// Property: SeqLess is a strict order on windows < 2^31.
+func TestPropertySeqLess(t *testing.T) {
+	f := func(base uint32, d uint16) bool {
+		if d == 0 {
+			return !SeqLess(base, base)
+		}
+		a, b := base, base+uint32(d)
+		return SeqLess(a, b) && !SeqLess(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkPacket(ft FiveTuple, seq uint32, n int) *Packet {
+	return &Packet{Flow: ft, Seq: seq, PayloadLen: n}
+}
+
+func TestSegmentAppendContiguous(t *testing.T) {
+	ft := tuple(1)
+	s := FromPacket(mkPacket(ft, 1000, units.MSS))
+	p2 := mkPacket(ft, 1000+uint32(units.MSS), units.MSS)
+	if !s.CanAppend(p2, units.TSOMaxBytes) {
+		t.Fatal("contiguous packet should be appendable")
+	}
+	s.Append(p2)
+	if s.Bytes != 2*units.MSS || s.Pkts != 2 {
+		t.Fatalf("segment = %+v", s)
+	}
+	if s.EndSeq() != 1000+uint32(2*units.MSS) {
+		t.Fatalf("EndSeq = %d", s.EndSeq())
+	}
+}
+
+func TestSegmentRejectsGapsFlagsAndOptions(t *testing.T) {
+	ft := tuple(1)
+	s := FromPacket(mkPacket(ft, 0, units.MSS))
+
+	gap := mkPacket(ft, uint32(2*units.MSS), units.MSS)
+	if s.CanAppend(gap, units.TSOMaxBytes) {
+		t.Fatal("gap must prevent merge")
+	}
+	push := mkPacket(ft, uint32(units.MSS), units.MSS)
+	push.Flags = FlagPSH
+	if !s.CanAppend(push, units.TSOMaxBytes) {
+		t.Fatal("PSH packet should append (sealing the segment)")
+	}
+	sealed := FromPacket(mkPacket(ft, 0, units.MSS))
+	sealed.Flags = FlagPSH
+	after := mkPacket(ft, uint32(units.MSS), units.MSS)
+	if sealed.CanAppend(after, units.TSOMaxBytes) {
+		t.Fatal("sealed segment must refuse further appends")
+	}
+	ack := &Packet{Flow: ft, Seq: uint32(units.MSS), Flags: FlagACK}
+	if s.CanAppend(ack, units.TSOMaxBytes) {
+		t.Fatal("pure ACK must pass through, not merge")
+	}
+	opts := mkPacket(ft, uint32(units.MSS), units.MSS)
+	opts.OptSig = 99
+	if s.CanAppend(opts, units.TSOMaxBytes) {
+		t.Fatal("differing options must prevent merge")
+	}
+	ce := mkPacket(ft, uint32(units.MSS), units.MSS)
+	ce.CE = true
+	if s.CanAppend(ce, units.TSOMaxBytes) {
+		t.Fatal("differing CE mark must prevent merge")
+	}
+	other := mkPacket(tuple(2), uint32(units.MSS), units.MSS)
+	if s.CanAppend(other, units.TSOMaxBytes) {
+		t.Fatal("different flow must prevent merge")
+	}
+}
+
+func TestSegmentSizeLimit(t *testing.T) {
+	ft := tuple(1)
+	s := FromPacket(mkPacket(ft, 0, units.MSS))
+	seq := uint32(units.MSS)
+	merged := 1
+	for {
+		p := mkPacket(ft, seq, units.MSS)
+		if !s.CanAppend(p, units.TSOMaxBytes) {
+			break
+		}
+		s.Append(p)
+		seq += uint32(units.MSS)
+		merged++
+	}
+	// 64KB / 1460 = 44 full-MSS packets fit.
+	if merged != 44 {
+		t.Fatalf("merged %d packets, want 44", merged)
+	}
+	if s.Bytes > units.TSOMaxBytes {
+		t.Fatalf("segment exceeded 64KB: %d", s.Bytes)
+	}
+}
+
+func TestSegmentPrepend(t *testing.T) {
+	ft := tuple(1)
+	s := FromPacket(mkPacket(ft, 1460, units.MSS))
+	p0 := mkPacket(ft, 0, units.MSS)
+	s.Prepend(p0)
+	if s.Seq != 0 || s.Bytes != 2*units.MSS || s.Pkts != 2 {
+		t.Fatalf("after prepend: %+v", s)
+	}
+}
+
+func TestSentAtBracketing(t *testing.T) {
+	ft := tuple(1)
+	p1 := mkPacket(ft, 0, units.MSS)
+	p1.SentAt = 100
+	s := FromPacket(p1)
+	p2 := mkPacket(ft, uint32(units.MSS), units.MSS)
+	p2.SentAt = 50 // out-of-order timestamps
+	s.Append(p2)
+	if s.FirstSentAt != 50 || s.LastSentAt != 100 {
+		t.Fatalf("timestamps: first=%v last=%v", s.FirstSentAt, s.LastSentAt)
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	p := mkPacket(tuple(1), 0, units.MSS)
+	if p.WireLen() != units.MTU {
+		t.Fatalf("full MSS packet wire len = %d, want %d", p.WireLen(), units.MTU)
+	}
+	ack := &Packet{Flow: tuple(1), Flags: FlagACK}
+	if ack.WireLen() != 40 {
+		t.Fatalf("ACK wire len = %d, want 40", ack.WireLen())
+	}
+}
+
+// Property: appending contiguous packets always preserves
+// Bytes == sum(payload) and EndSeq == Seq + Bytes.
+func TestPropertySegmentInvariant(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		ft := tuple(1)
+		seq := uint32(1 << 20)
+		first := int(sizes[0])%units.MSS + 1
+		s := FromPacket(mkPacket(ft, seq, first))
+		total := first
+		next := seq + uint32(first)
+		for _, raw := range sizes[1:] {
+			n := int(raw)%units.MSS + 1
+			p := mkPacket(ft, next, n)
+			if !s.CanAppend(p, units.TSOMaxBytes) {
+				break
+			}
+			s.Append(p)
+			total += n
+			next += uint32(n)
+		}
+		return s.Bytes == total && s.EndSeq() == seq+uint32(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	ft := tuple(1)
+	if ft.String() == "" {
+		t.Fatal("five-tuple string empty")
+	}
+	p := mkPacket(ft, 100, 200)
+	p.Flags = FlagACK | FlagPSH
+	s := p.String()
+	if !strings.Contains(s, "seq=100") || !strings.Contains(s, "ACK|PSH") {
+		t.Fatalf("packet string = %q", s)
+	}
+	seg := FromPacket(p)
+	if !strings.Contains(seg.String(), "bytes=200") {
+		t.Fatalf("segment string = %q", seg.String())
+	}
+	if (FlagSYN | FlagFIN | FlagECE).String() != "SYN|FIN|ECE" {
+		t.Fatalf("flags string = %q", (FlagSYN | FlagFIN | FlagECE).String())
+	}
+}
+
+func TestPassThroughCases(t *testing.T) {
+	ft := tuple(1)
+	cases := []struct {
+		p    Packet
+		want bool
+	}{
+		{Packet{Flow: ft, Flags: FlagACK}, true},                  // pure ACK
+		{Packet{Flow: ft, Flags: FlagSYN, PayloadLen: 10}, true},  // SYN
+		{Packet{Flow: ft, Flags: FlagRST, PayloadLen: 10}, true},  // RST
+		{Packet{Flow: ft, Flags: FlagACK, PayloadLen: 10}, false}, // data
+		{Packet{Flow: ft, Flags: FlagPSH | FlagACK, PayloadLen: 1}, false},
+	}
+	for i, c := range cases {
+		if got := c.p.PassThrough(); got != c.want {
+			t.Fatalf("case %d: PassThrough = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPayloadRanges(t *testing.T) {
+	empty := &Segment{Flow: tuple(1), Seq: 5}
+	if empty.PayloadRanges() != nil {
+		t.Fatal("zero-byte segment should have no ranges")
+	}
+	plain := &Segment{Flow: tuple(1), Seq: 5, Bytes: 10}
+	r := plain.PayloadRanges()
+	if len(r) != 1 || r[0].Seq != 5 || r[0].Len != 10 {
+		t.Fatalf("implied range = %v", r)
+	}
+	ll := &Segment{Flow: tuple(1), Ranges: []Range{{Seq: 1, Len: 2}, {Seq: 9, Len: 3}}}
+	if len(ll.PayloadRanges()) != 2 {
+		t.Fatal("explicit ranges should pass through")
+	}
+}
+
+func TestSealedVariants(t *testing.T) {
+	for _, fl := range []Flags{FlagPSH, FlagURG, FlagFIN} {
+		s := &Segment{Flags: fl}
+		if !s.Sealed() {
+			t.Fatalf("segment with %v should be sealed", fl)
+		}
+	}
+	if (&Segment{Flags: FlagACK}).Sealed() {
+		t.Fatal("plain ACK segment must not be sealed")
+	}
+}
+
+func TestCanPrependRules(t *testing.T) {
+	ft := tuple(1)
+	s := FromPacket(mkPacket(ft, uint32(units.MSS), units.MSS))
+	good := mkPacket(ft, 0, units.MSS)
+	if !s.CanPrepend(good, units.TSOMaxBytes) {
+		t.Fatal("contiguous unflagged packet should prepend")
+	}
+	flagged := mkPacket(ft, 0, units.MSS)
+	flagged.Flags = FlagPSH
+	if s.CanPrepend(flagged, units.TSOMaxBytes) {
+		t.Fatal("PSH packet must not prepend (flag semantics would be lost)")
+	}
+	gap := mkPacket(ft, 1, units.MSS)
+	if s.CanPrepend(gap, units.TSOMaxBytes) {
+		t.Fatal("non-contiguous packet must not prepend")
+	}
+	opts := mkPacket(ft, 0, units.MSS)
+	opts.OptSig = 3
+	if s.CanPrepend(opts, units.TSOMaxBytes) {
+		t.Fatal("incompatible options must not prepend")
+	}
+	if s.CanPrepend(good, units.MSS) {
+		t.Fatal("size budget must be respected")
+	}
+}

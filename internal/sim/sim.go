@@ -1,0 +1,215 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// on which the entire stack runs.
+//
+// The engine is single-threaded: events are executed one at a time in
+// (time, insertion-order) order, so every experiment is exactly reproducible
+// given its seed. Components schedule future work with Schedule/After and
+// cancel pending work via the returned *Event handle or a Timer.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is absolute simulation time in nanoseconds since the start of the
+// run. It is kept distinct from time.Duration (which the API uses for
+// relative delays) so the two cannot be mixed up.
+type Time int64
+
+// Duration returns the span from t0 to t as a time.Duration.
+func (t Time) Sub(t0 Time) time.Duration { return time.Duration(t - t0) }
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Seconds converts t to floating-point seconds (for reporting only).
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// String formats the time with microsecond resolution for traces.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+
+// Event is a scheduled callback. The zero Event is not valid; events are
+// created by Sim.Schedule and may be cancelled with Cancel before they run.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among events at the same instant
+	fn     func()
+	index  int // position in heap, -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancel prevents the event from running. Cancelling an event that already
+// ran (or was already cancelled) is a no-op. Returns true if the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.cancel || e.index == -2 {
+		return false
+	}
+	e.cancel = true
+	return true
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.cancel && e.index >= 0 }
+
+// Time returns the instant the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -2
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. Create one with New; it is
+// not safe for concurrent use (the whole simulation is single-threaded by
+// design).
+type Sim struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events run so far; useful as a progress metric and
+	// as a runaway-loop guard in tests.
+	Executed uint64
+
+	// MaxEvents aborts Run with a panic when non-zero and exceeded. Tests
+	// set it to catch accidental event storms.
+	MaxEvents uint64
+}
+
+// New creates a simulator whose random source is seeded with seed.
+// Identical seeds yield bit-identical runs.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. All stochastic
+// decisions in the stack (hashing salt, Poisson arrivals, drop injection,
+// probabilistic marking) must draw from this source for reproducibility.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay d (>= 0). It returns the Event handle, which
+// may be used to cancel the callback before it fires.
+func (s *Sim) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.ScheduleAt(s.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute time t (>= Now).
+func (s *Sim) ScheduleAt(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: %v < now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// step pops and executes the next event. Returns false when the queue is
+// empty.
+func (s *Sim) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		if e.at < s.now {
+			panic("sim: time went backwards")
+		}
+		s.now = e.at
+		s.Executed++
+		if s.MaxEvents != 0 && s.Executed > s.MaxEvents {
+			panic("sim: MaxEvents exceeded (runaway event loop?)")
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// Events scheduled exactly at t do run.
+func (s *Sim) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := s.queue[0]
+		if next.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Pending returns the number of queued (non-cancelled) events. O(n); meant
+// for tests and diagnostics.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancel {
+			n++
+		}
+	}
+	return n
+}

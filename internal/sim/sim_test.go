@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30*time.Nanosecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Nanosecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Nanosecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %v, want 30ns", s.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Nanosecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	e := s.Schedule(time.Microsecond, func() { ran = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !e.Cancel() {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel() {
+		t.Fatal("second cancel should be a no-op")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(100*time.Nanosecond, func() { ran++ })
+	s.Schedule(300*time.Nanosecond, func() { ran++ })
+	s.RunUntil(200)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 200 {
+		t.Fatalf("clock = %v, want 200", s.Now())
+	}
+	s.RunUntil(300) // event exactly at boundary runs
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			s.Schedule(time.Nanosecond, recur)
+		}
+	}
+	s.Schedule(0, recur)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("clock = %v, want 99", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(time.Duration(i)*time.Nanosecond, func() {
+			n++
+			if n == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	s.Run() // resume
+	if n != 10 {
+		t.Fatalf("n = %d, want 10 after resume", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var trace []int64
+		for i := 0; i < 50; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Nanosecond
+			s.Schedule(d, func() { trace = append(trace, int64(s.Now())) })
+		}
+		s.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(100 * time.Nanosecond)
+	tm.Reset(200 * time.Nanosecond) // supersedes
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 200 {
+		t.Fatalf("fired at %v, want 200", s.Now())
+	}
+	tm.Reset(50 * time.Nanosecond)
+	if !tm.Stop() {
+		t.Fatal("stop should report pending")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("stopped timer fired; count=%d", fired)
+	}
+}
+
+func TestTimerArmIfIdle(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	if !tm.ArmIfIdle(100 * time.Nanosecond) {
+		t.Fatal("first arm should succeed")
+	}
+	if tm.ArmIfIdle(10 * time.Nanosecond) {
+		t.Fatal("second arm should be rejected while pending")
+	}
+	s.Run()
+	if fired != 1 || s.Now() != 100 {
+		t.Fatalf("fired=%d at %v, want 1 at 100", fired, s.Now())
+	}
+}
+
+func TestTickerPeriodNoDrift(t *testing.T) {
+	s := New(1)
+	var at []Time
+	tk := NewTicker(s, 100*time.Nanosecond, func() { at = append(at, s.Now()) })
+	tk.Start()
+	s.RunUntil(1000)
+	tk.Stop()
+	s.RunUntil(2000)
+	if len(at) != 10 {
+		t.Fatalf("ticks = %d, want 10 (%v)", len(at), at)
+	}
+	for i, ts := range at {
+		if ts != Time((i+1)*100) {
+			t.Fatalf("tick %d at %v, want %d", i, ts, (i+1)*100)
+		}
+	}
+}
+
+// Property: regardless of the (non-negative) delays chosen, events execute
+// in non-decreasing time order and the executed count matches.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var times []Time
+		for _, d := range delays {
+			s.Schedule(time.Duration(d)*time.Nanosecond, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of events runs exactly the
+// complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint16, mask []bool) bool {
+		s := New(9)
+		ran := 0
+		want := 0
+		for i, d := range delays {
+			e := s.Schedule(time.Duration(d)*time.Nanosecond, func() { ran++ })
+			if i < len(mask) && mask[i] {
+				e.Cancel()
+			} else {
+				want++
+			}
+		}
+		s.Run()
+		return ran == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(1)
+	s.Schedule(time.Microsecond, func() {
+		s.ScheduleAt(s.Now()-1, func() {})
+	})
+	s.Run()
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected MaxEvents panic")
+		}
+	}()
+	s := New(1)
+	s.MaxEvents = 10
+	var loop func()
+	loop = func() { s.Schedule(time.Nanosecond, loop) }
+	s.Schedule(0, loop)
+	s.Run()
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	e1 := s.Schedule(time.Microsecond, func() {})
+	s.Schedule(2*time.Microsecond, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	e1.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d", s.Pending())
+	}
+}
+
+func TestTimerDeadline(t *testing.T) {
+	s := New(1)
+	tm := NewTimer(s, func() {})
+	if tm.Deadline() != 0 {
+		t.Fatal("unarmed timer deadline should be zero")
+	}
+	tm.Reset(100 * time.Nanosecond)
+	if tm.Deadline() != 100 {
+		t.Fatalf("deadline = %v", tm.Deadline())
+	}
+}

@@ -1,0 +1,243 @@
+package tcp
+
+import (
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+)
+
+// ReceiverStats are cumulative receive-side counters; they supply the
+// §5.1.1 statistics (segments seen, fraction out of order, ACKs sent).
+type ReceiverStats struct {
+	SegmentsIn     int64
+	OOOSegments    int64
+	DupSegments    int64
+	AcksSent       int64
+	BytesDelivered int64 // cumulative in-order payload handed to the app
+}
+
+// Receiver is one TCP flow's receive side. It consumes (possibly merged)
+// segments from the offload layer, reassembles the byte stream, delivers
+// in-order bytes to the application, and acknowledges every segment —
+// which is what makes segment multiplication expensive on a vanilla stack.
+type Receiver struct {
+	sim  *sim.Sim
+	flow packet.FiveTuple // data-direction tuple
+
+	irs    uint32
+	rcvNxt uint32
+	ooo    []packet.Range // sorted, non-overlapping
+
+	// sendAck transmits a constructed ACK packet (wired by the host).
+	sendAck func(p *packet.Packet)
+
+	// OnDeliver, when non-nil, observes every in-order delivery with the
+	// cumulative byte count (RPC completion tracking hooks in here).
+	OnDeliver func(cumBytes int64)
+
+	// Delayed-ACK state (EnableDelayedAcks): in-order segments coalesce
+	// acknowledgments Linux-style — every ackEvery segments or at the
+	// delack timeout, whichever first; anything out of order or pushed
+	// still acks immediately.
+	ackEvery      int
+	delack        *sim.Timer
+	delackTimeout time.Duration
+	pendingAck    int
+
+	Stats ReceiverStats
+}
+
+// NewReceiver creates a receiver for the data-direction flow; ACKs are
+// emitted through sendAck on the reverse tuple.
+func NewReceiver(s *sim.Sim, flow packet.FiveTuple, sendAck func(p *packet.Packet)) *Receiver {
+	return &Receiver{sim: s, flow: flow, irs: 1, rcvNxt: 1, sendAck: sendAck}
+}
+
+// Flow returns the data-direction tuple this receiver consumes.
+func (r *Receiver) Flow() packet.FiveTuple { return r.flow }
+
+// EnableDelayedAcks turns on Linux-style ACK coalescing: in-order segments
+// are acknowledged every n segments or after timeout, whichever comes
+// first. Out-of-order, duplicate, pushed, or CE-marked segments are still
+// acknowledged immediately (quick-ack), so loss signals and ECN feedback
+// keep their latency. The paper's experiments ACK per segment (n = 1
+// behaviour) — this option exists for ACK-load ablations.
+func (r *Receiver) EnableDelayedAcks(n int, timeout time.Duration) {
+	if n < 2 || timeout <= 0 {
+		panic("tcp: delayed acks need n >= 2 and a positive timeout")
+	}
+	r.ackEvery = n
+	r.delack = sim.NewTimer(r.sim, func() {
+		if r.pendingAck > 0 {
+			r.pendingAck = 0
+			r.ack(false)
+		}
+	})
+	r.delackTimeout = timeout
+}
+
+// Delivered returns the cumulative in-order bytes handed to the app.
+func (r *Receiver) Delivered() int64 { return int64(r.rcvNxt - r.irs) }
+
+// OnSegment consumes one segment from the stack.
+func (r *Receiver) OnSegment(seg *packet.Segment) {
+	r.Stats.SegmentsIn++
+	progressed := false
+	ooo := false
+	dup := true
+	for _, rng := range seg.PayloadRanges() {
+		switch r.ingest(rng) {
+		case ingestAdvance:
+			progressed = true
+			dup = false
+		case ingestOOO:
+			ooo = true
+			dup = false
+		case ingestDup:
+		}
+	}
+	if ooo && !progressed {
+		r.Stats.OOOSegments++
+		seg.OOO = true
+	}
+	if dup && seg.Bytes > 0 {
+		r.Stats.DupSegments++
+	}
+	if progressed && r.OnDeliver != nil {
+		r.OnDeliver(r.Delivered())
+	}
+	// One ACK per segment by default: in-order progress acks the new
+	// rcvNxt; anything else is a duplicate ACK that the sender counts.
+	// With delayed ACKs, clean in-order progress may coalesce.
+	if r.ackEvery > 1 {
+		quick := !progressed || ooo || dup || seg.CE ||
+			seg.Flags.Has(packet.FlagPSH) || seg.Flags.Has(packet.FlagFIN)
+		if quick {
+			r.pendingAck = 0
+			r.delack.Stop()
+			r.ack(seg.CE)
+			return
+		}
+		r.pendingAck++
+		if r.pendingAck >= r.ackEvery {
+			r.pendingAck = 0
+			r.delack.Stop()
+			r.ack(false)
+			return
+		}
+		r.delack.ArmIfIdle(r.delackTimeout)
+		return
+	}
+	r.ack(seg.CE)
+}
+
+type ingestResult uint8
+
+const (
+	ingestAdvance ingestResult = iota
+	ingestOOO
+	ingestDup
+)
+
+// ingest merges one payload range into the reassembly state.
+func (r *Receiver) ingest(rng packet.Range) ingestResult {
+	if rng.Len <= 0 {
+		return ingestDup
+	}
+	end := rng.Seq + uint32(rng.Len)
+	if packet.SeqLEQ(end, r.rcvNxt) {
+		return ingestDup // entirely old
+	}
+	if packet.SeqLEQ(rng.Seq, r.rcvNxt) {
+		// Advances the left edge; absorb and pull any now-contiguous
+		// buffered ranges.
+		r.rcvNxt = end
+		r.drainContiguous()
+		return ingestAdvance
+	}
+	// Out of order: buffer.
+	r.bufferRange(rng)
+	return ingestOOO
+}
+
+// drainContiguous advances rcvNxt through buffered ranges it now reaches.
+func (r *Receiver) drainContiguous() {
+	i := 0
+	for i < len(r.ooo) {
+		rng := r.ooo[i]
+		if packet.SeqLess(r.rcvNxt, rng.Seq) {
+			break
+		}
+		end := rng.Seq + uint32(rng.Len)
+		if packet.SeqLess(r.rcvNxt, end) {
+			r.rcvNxt = end
+		}
+		i++
+	}
+	if i > 0 {
+		r.ooo = append(r.ooo[:0], r.ooo[i:]...)
+	}
+}
+
+// bufferRange inserts an out-of-order range, keeping the list sorted and
+// coalesced.
+func (r *Receiver) bufferRange(rng packet.Range) {
+	// Find insert position.
+	lo, hi := 0, len(r.ooo)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if packet.SeqLess(r.ooo[mid].Seq, rng.Seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	r.ooo = append(r.ooo, packet.Range{})
+	copy(r.ooo[lo+1:], r.ooo[lo:])
+	r.ooo[lo] = rng
+	// Coalesce around lo.
+	r.coalesceAt(lo)
+	if lo > 0 {
+		r.coalesceAt(lo - 1)
+	}
+}
+
+// coalesceAt merges overlapping/adjacent ranges starting at index i.
+func (r *Receiver) coalesceAt(i int) {
+	for i+1 < len(r.ooo) {
+		a, b := r.ooo[i], r.ooo[i+1]
+		aEnd := a.Seq + uint32(a.Len)
+		if packet.SeqLess(aEnd, b.Seq) {
+			return
+		}
+		bEnd := b.Seq + uint32(b.Len)
+		end := aEnd
+		if packet.SeqLess(end, bEnd) {
+			end = bEnd
+		}
+		r.ooo[i].Len = int(end - a.Seq)
+		r.ooo = append(r.ooo[:i+1], r.ooo[i+2:]...)
+	}
+}
+
+// ack emits one cumulative acknowledgment; ce echoes congestion marks.
+func (r *Receiver) ack(ce bool) {
+	r.Stats.AcksSent++
+	p := &packet.Packet{
+		Flow:   r.flow.Reverse(),
+		Flags:  packet.FlagACK,
+		AckSeq: r.rcvNxt,
+	}
+	if ce {
+		p.Flags |= packet.FlagECE
+	}
+	if len(r.ooo) > 0 {
+		p.SACKStart = r.ooo[0].Seq
+		p.SACKEnd = r.ooo[0].Seq + uint32(r.ooo[0].Len)
+	}
+	r.sendAck(p)
+}
+
+// OOORanges returns the buffered out-of-order byte count (diagnostics).
+func (r *Receiver) OOORanges() int { return len(r.ooo) }

@@ -1,0 +1,62 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/netfilter"
+	"juggler/internal/sim"
+	"juggler/internal/tcp"
+	"juggler/internal/units"
+)
+
+// runWithConntrack drives a bulk flow through the NetFPGA pair with a
+// conntrack instance on the receiver.
+func runWithConntrack(t *testing.T, kind OffloadKind, tau time.Duration, strict bool) (*Host, *tcp.Receiver) {
+	t.Helper()
+	s := sim.New(17)
+	rcvCfg := DefaultHostConfig(kind)
+	rcvCfg.Juggler = core.DefaultConfig()
+	rcvCfg.Juggler.InseqTimeout = 52 * time.Microsecond
+	rcvCfg.Juggler.OfoTimeout = tau + 200*time.Microsecond
+	rcvCfg.Conntrack = &netfilter.Config{Strict: strict}
+	tb := NewNetFPGAPair(s, units.Rate10G, tau, 0,
+		DefaultHostConfig(OffloadVanilla), rcvCfg)
+	snd, rcv := Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{})
+	snd.SetInfinite()
+	snd.MaybeSend()
+	s.RunFor(60 * time.Millisecond)
+	return tb.Receiver, rcv
+}
+
+func TestConntrackCleanBehindJuggler(t *testing.T) {
+	h, _ := runWithConntrack(t, OffloadJuggler, 500*time.Microsecond, false)
+	if h.CT.Stats.Accepted == 0 {
+		t.Fatal("conntrack saw no traffic")
+	}
+	frac := float64(h.CT.Stats.Invalid) / float64(h.CT.Stats.Invalid+h.CT.Stats.Accepted)
+	if frac > 0.01 {
+		t.Fatalf("INVALID fraction %.3f behind Juggler, want ~0", frac)
+	}
+}
+
+func TestConntrackFloodedBehindVanilla(t *testing.T) {
+	h, _ := runWithConntrack(t, OffloadVanilla, 500*time.Microsecond, false)
+	frac := float64(h.CT.Stats.Invalid) / float64(h.CT.Stats.Invalid+h.CT.Stats.Accepted)
+	if frac < 0.05 {
+		t.Fatalf("INVALID fraction %.3f behind vanilla GRO under reordering, want substantial", frac)
+	}
+}
+
+func TestStrictConntrackDropsBeforeTCP(t *testing.T) {
+	// Strict filtering on an in-order stream must not drop anything and
+	// the flow must run at line rate.
+	h, rcv := runWithConntrack(t, OffloadJuggler, 0, true)
+	if h.CT.Stats.Dropped != 0 {
+		t.Fatalf("strict conntrack dropped %d segments of an in-order stream", h.CT.Stats.Dropped)
+	}
+	if got := units.Throughput(rcv.Delivered(), 60*time.Millisecond); got < units.Rate10G*8/10 {
+		t.Fatalf("throughput %v under strict conntrack", got)
+	}
+}

@@ -1,0 +1,287 @@
+// Package testbed assembles complete end hosts (NIC, receive offload, CPU
+// model, TCP endpoints) and the paper's three experimental topologies: the
+// NetFPGA delay-switch pair (Figure 11), the two-stage Clos (Figure 19),
+// and the strict-priority dumbbell (Figure 17). The evaluation harness,
+// the examples, and the integration tests all build on this package.
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/cpumodel"
+	"juggler/internal/fabric"
+	"juggler/internal/gro"
+	"juggler/internal/netfilter"
+	"juggler/internal/nic"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/tcp"
+	"juggler/internal/units"
+)
+
+// OffloadKind selects the receive-offload implementation at a host.
+type OffloadKind uint8
+
+// The receive-offload configurations compared by the evaluation.
+const (
+	// OffloadVanilla is today's Linux GRO (the "vanilla kernel").
+	OffloadVanilla OffloadKind = iota
+	// OffloadJuggler is the paper's design.
+	OffloadJuggler
+	// OffloadLinkedList is the §3.1 linked-list batching strawman.
+	OffloadLinkedList
+	// OffloadNone disables receive offload entirely.
+	OffloadNone
+)
+
+// String names the offload kind.
+func (k OffloadKind) String() string {
+	switch k {
+	case OffloadVanilla:
+		return "vanilla"
+	case OffloadJuggler:
+		return "juggler"
+	case OffloadLinkedList:
+		return "linkedlist"
+	case OffloadNone:
+		return "none"
+	}
+	return "?"
+}
+
+// HostConfig configures one end host.
+type HostConfig struct {
+	// LinkRate is the NIC speed (10G / 40G in the paper).
+	LinkRate units.BitRate
+	// RX tunes receive-side scaling and interrupt coalescing.
+	RX nic.RXConfig
+	// Offload selects the receive-offload implementation.
+	Offload OffloadKind
+	// Juggler tunes the Juggler instances (used when Offload is
+	// OffloadJuggler).
+	Juggler core.Config
+	// Costs is the CPU cost table (DefaultCosts when zero).
+	Costs cpumodel.Costs
+	// AppBacklogLimit bounds the app core's queued work; segments beyond
+	// it are dropped (socket backlog overflow). Default 3ms.
+	AppBacklogLimit time.Duration
+	// Conntrack, when non-nil, interposes a netfilter connection tracker
+	// on the post-offload segment stream (S3.1); in strict mode INVALID
+	// segments are dropped before TCP.
+	Conntrack *netfilter.Config
+	// Sender is the default TCP sender tuning for connections from this
+	// host.
+	Sender tcp.SenderConfig
+}
+
+// DefaultHostConfig returns a 40G host running the given offload.
+func DefaultHostConfig(kind OffloadKind) HostConfig {
+	return HostConfig{
+		LinkRate:        units.Rate40G,
+		RX:              nic.DefaultRXConfig(),
+		Offload:         kind,
+		Juggler:         core.DefaultConfig(),
+		Costs:           cpumodel.DefaultCosts(),
+		AppBacklogLimit: 3 * time.Millisecond,
+	}
+}
+
+// Host is a complete end host.
+type Host struct {
+	Name string
+	IP   uint32
+
+	sim *sim.Sim
+	cfg HostConfig
+
+	CPU *cpumodel.Model
+	RX  *nic.RX
+	TX  *nic.TX
+
+	egress *fabric.Port
+
+	// Jugglers holds the per-RX-queue Juggler instances when the host
+	// runs OffloadJuggler (for flow-table statistics).
+	Jugglers []*core.Juggler
+
+	receivers map[packet.FiveTuple]*tcp.Receiver
+	senders   map[packet.FiveTuple]*tcp.Sender // keyed by the ACK tuple
+
+	// CT is the optional netfilter connection tracker.
+	CT *netfilter.Conntrack
+
+	// DroppedSegs counts segments lost to app-core backlog overflow.
+	DroppedSegs int64
+	// UnmatchedSegs counts segments with no registered endpoint.
+	UnmatchedSegs int64
+
+	nextPort uint16
+}
+
+// NewHost builds the receive side of a host. The transmit side is attached
+// afterwards with ConnectEgress once the fabric side exists.
+func NewHost(s *sim.Sim, name string, cfg HostConfig) *Host {
+	if cfg.LinkRate <= 0 {
+		panic("testbed: host needs a link rate")
+	}
+	if cfg.Costs == (cpumodel.Costs{}) {
+		cfg.Costs = cpumodel.DefaultCosts()
+	}
+	if cfg.AppBacklogLimit <= 0 {
+		cfg.AppBacklogLimit = 3 * time.Millisecond
+	}
+	if cfg.RX.Queues <= 0 {
+		cfg.RX = nic.DefaultRXConfig()
+	}
+	h := &Host{
+		Name:      name,
+		sim:       s,
+		cfg:       cfg,
+		CPU:       cpumodel.New(s, cfg.Costs),
+		receivers: map[packet.FiveTuple]*tcp.Receiver{},
+		senders:   map[packet.FiveTuple]*tcp.Sender{},
+		nextPort:  10000,
+	}
+	h.CPU.App.QueueLimit = cfg.AppBacklogLimit
+	if cfg.Conntrack != nil {
+		h.CT = netfilter.New(*cfg.Conntrack)
+	}
+	h.RX = nic.NewRX(s, cfg.RX, h.CPU, h.makeOffload)
+	return h
+}
+
+// makeOffload builds the per-RX-queue offload instance.
+func (h *Host) makeOffload(queue int) gro.Offload {
+	switch h.cfg.Offload {
+	case OffloadVanilla:
+		return gro.NewVanilla(h.onSegment)
+	case OffloadJuggler:
+		j := core.New(h.sim, h.cfg.Juggler, h.onSegment)
+		h.Jugglers = append(h.Jugglers, j)
+		return j
+	case OffloadLinkedList:
+		return gro.NewLinkedList(h.onSegment)
+	case OffloadNone:
+		return gro.NewNull(h.onSegment)
+	}
+	panic(fmt.Sprintf("testbed: unknown offload kind %d", h.cfg.Offload))
+}
+
+// ConnectEgress attaches the host's transmit path: an egress port at link
+// rate into the fabric sink (a ToR switch, a delay switch, or a peer).
+func (h *Host) ConnectEgress(dst fabric.Sink, prop time.Duration) {
+	if h.egress != nil {
+		panic("testbed: egress already connected")
+	}
+	h.egress = fabric.NewPort(h.sim, h.Name+"-egress", h.cfg.LinkRate, prop, fabric.NewDropTail(0), dst)
+	h.TX = nic.NewTX(h.sim, h.egress)
+}
+
+// Egress exposes the host's egress port (for TX statistics).
+func (h *Host) Egress() *fabric.Port { return h.egress }
+
+// Sink returns the fabric-facing receive sink of the host.
+func (h *Host) Sink() fabric.Sink { return h.RX }
+
+// onSegment is the offload upcall: charge the app core and dispatch to the
+// owning TCP endpoint once the core's queue serves the segment.
+func (h *Host) onSegment(seg *packet.Segment) {
+	if h.CT != nil {
+		if v := h.CT.Inspect(seg); h.CT.ShouldDrop(v) {
+			return
+		}
+	}
+	var cost time.Duration
+	if seg.Bytes == 0 {
+		// Pure ACK: cheaper receive path (no copy, no wakeup).
+		cost = h.cfg.Costs.AppPerSegment / 4
+	} else {
+		cost = h.CPU.AppSegmentCost(seg.Bytes, seg.Pkts, seg.Kind == packet.MergeLinkedList)
+	}
+	if !h.CPU.App.Submit(cost, func() { h.dispatch(seg) }) {
+		h.DroppedSegs++ // socket backlog overflow
+	}
+}
+
+// dispatch routes a serviced segment to its TCP endpoint.
+func (h *Host) dispatch(seg *packet.Segment) {
+	if seg.Bytes == 0 && seg.Flags.Has(packet.FlagACK) {
+		if snd, ok := h.senders[seg.Flow]; ok {
+			snd.OnAck(seg)
+			return
+		}
+	}
+	if rcv, ok := h.receivers[seg.Flow]; ok {
+		rcv.OnSegment(seg)
+		return
+	}
+	// Data segments may piggyback ACK flags; fall back to sender lookup.
+	if snd, ok := h.senders[seg.Flow]; ok {
+		snd.OnAck(seg)
+		return
+	}
+	h.UnmatchedSegs++
+}
+
+// sendACK transmits a receiver-generated ACK, charging the app core.
+func (h *Host) sendACK(p *packet.Packet) {
+	h.CPU.App.Charge(h.cfg.Costs.AppPerACKSent)
+	h.TX.SendRaw(p)
+}
+
+// Connect establishes a simplex TCP connection carrying data from h to
+// dst. Returns the sender (at h) and receiver (at dst). Both hosts must
+// have their egress connected and IPs assigned.
+func Connect(h, dst *Host, cfg tcp.SenderConfig) (*tcp.Sender, *tcp.Receiver) {
+	if h.TX == nil || dst.TX == nil {
+		panic("testbed: connect before egress wiring")
+	}
+	h.nextPort++
+	flow := packet.FiveTuple{
+		SrcIP: h.IP, DstIP: dst.IP,
+		SrcPort: h.nextPort, DstPort: 5001,
+		Proto: packet.ProtoTCP,
+	}
+	if cfg.OptSig == 0 {
+		cfg.OptSig = uint32(flow.SrcPort)
+	}
+	snd := tcp.NewSender(h.sim, cfg, flow, h.TX)
+	rcv := tcp.NewReceiver(dst.sim, flow, dst.sendACK)
+	dst.receivers[flow] = rcv
+	h.senders[snd.AckFlow()] = snd
+	return snd, rcv
+}
+
+// JugglerActiveLen sums the active-list lengths across the host's Juggler
+// instances (Figure 15/16 sampling).
+func (h *Host) JugglerActiveLen() int {
+	n := 0
+	for _, j := range h.Jugglers {
+		n += j.ActiveLen()
+	}
+	return n
+}
+
+// JugglerLossLen sums the loss-recovery list lengths.
+func (h *Host) JugglerLossLen() int {
+	n := 0
+	for _, j := range h.Jugglers {
+		n += j.LossLen()
+	}
+	return n
+}
+
+// OffloadCounters aggregates offload counters across RX queues.
+func (h *Host) OffloadCounters() gro.Counters {
+	var total gro.Counters
+	for i := 0; i < h.RX.NumQueues(); i++ {
+		c := h.RX.Offload(i).Counters()
+		total.Packets += c.Packets
+		total.Segments += c.Segments
+		total.OOOWork += c.OOOWork
+		total.MergedPkts += c.MergedPkts
+	}
+	return total
+}

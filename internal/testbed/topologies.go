@@ -1,0 +1,127 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"juggler/internal/fabric"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+	"juggler/internal/workload"
+)
+
+// hostProp is the host-to-switch propagation delay used by the testbeds.
+const hostProp = 200 * time.Nanosecond
+
+// NetFPGAPair is the Figure 11 apparatus: two hosts connected through a
+// switch that hashes each inbound packet uniformly at random onto one of
+// two queues, the second adding a configurable delay tau — precise control
+// over the amount of reordering the receiver sees.
+type NetFPGAPair struct {
+	Sim      *sim.Sim
+	Sender   *Host
+	Receiver *Host
+	Delay    *fabric.DelaySwitch
+	// Drops, when non-nil, is the receiver-side uniform drop injector
+	// ("before they enter Juggler", §5.2.1).
+	Drops *fabric.DropInjector
+}
+
+// NewNetFPGAPair builds the testbed at the given rate with reordering
+// delay tau and receiver-side drop probability dropProb (0 for none).
+func NewNetFPGAPair(s *sim.Sim, rate units.BitRate, tau time.Duration, dropProb float64,
+	sndCfg, rcvCfg HostConfig) *NetFPGAPair {
+
+	sndCfg.LinkRate = rate
+	rcvCfg.LinkRate = rate
+	tb := &NetFPGAPair{Sim: s}
+	tb.Sender = NewHost(s, "sender", sndCfg)
+	tb.Receiver = NewHost(s, "receiver", rcvCfg)
+	tb.Sender.IP = 0x0a000001
+	tb.Receiver.IP = 0x0a000002
+
+	// Forward path: sender egress -> delay switch -> egress port -> (drop
+	// injector) -> receiver.
+	var rxSide fabric.Sink = tb.Receiver.Sink()
+	if dropProb > 0 {
+		tb.Drops = fabric.NewDropInjector(s, dropProb, rxSide)
+		rxSide = tb.Drops
+	}
+	toReceiver := fabric.NewPort(s, "fpga->rcv", rate, hostProp, fabric.NewDropTail(0), rxSide)
+	tb.Delay = fabric.NewDelaySwitch(s, tau, toReceiver)
+	tb.Sender.ConnectEgress(tb.Delay, hostProp)
+
+	// Reverse path (ACKs): direct port, no reordering.
+	toSender := fabric.NewPort(s, "rcv->snd", rate, hostProp, fabric.NewDropTail(0), tb.Sender.Sink())
+	tb.Receiver.ConnectEgress(toSender, 0)
+	return tb
+}
+
+// ClosTestbed wraps a two-stage Clos fabric plus the hosts attached to it.
+type ClosTestbed struct {
+	Sim   *sim.Sim
+	Clos  *fabric.Clos
+	Hosts []*Host
+}
+
+// NewClosTestbed builds the fabric; hosts are added with AddHost.
+func NewClosTestbed(s *sim.Sim, cfg fabric.ClosConfig) *ClosTestbed {
+	return &ClosTestbed{Sim: s, Clos: fabric.NewClos(s, cfg)}
+}
+
+// AddHost attaches a full host under the given ToR.
+func (tb *ClosTestbed) AddHost(tor int, cfg HostConfig) *Host {
+	h := NewHost(tb.Sim, fmt.Sprintf("h%d-%d", tor, len(tb.Hosts)), cfg)
+	ip, egress := tb.Clos.AttachHost(tor, h.Sink())
+	h.IP = ip
+	h.ConnectEgress(egress, hostProp)
+	tb.Hosts = append(tb.Hosts, h)
+	return h
+}
+
+// CounterSink is a minimal traffic sink (background-flow receivers): it
+// counts and discards.
+type CounterSink struct {
+	Pkts  int64
+	Bytes int64
+}
+
+// Deliver implements fabric.Sink.
+func (c *CounterSink) Deliver(p *packet.Packet) {
+	c.Pkts++
+	c.Bytes += int64(p.WireLen())
+}
+
+// RawSource is a lightweight sending-only host for background load: an
+// egress port into the fabric plus a Poisson packet source.
+type RawSource struct {
+	IP   uint32
+	Port *fabric.Port
+	Gen  *workload.Background
+}
+
+// AddBackgroundPair attaches a raw Poisson source under srcToR sending
+// rate bits/s toward a counting sink under dstToR. It returns the source
+// (already started).
+func (tb *ClosTestbed) AddBackgroundPair(srcToR, dstToR int, rate units.BitRate) *RawSource {
+	sink := &CounterSink{}
+	dstIP, _ := tb.Clos.AttachHost(dstToR, sink)
+
+	srcSink := &CounterSink{} // the source never receives; count strays
+	srcIP, egress := tb.Clos.AttachHost(srcToR, srcSink)
+
+	port := fabric.NewPort(tb.Sim, fmt.Sprintf("bg%x", srcIP),
+		tb.Clos.UplinkPorts(srcToR)[0].Rate(), hostProp, fabric.NewDropTail(0), egress)
+	src := &RawSource{IP: srcIP, Port: port}
+	flow := packet.FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: 7, DstPort: 7, Proto: packet.ProtoUDP}
+	src.Gen = workload.NewBackground(tb.Sim, rawPortSender{port}, flow, rate)
+	src.Gen.Start()
+	return src
+}
+
+// rawPortSender adapts a Port to the workload SendRaw interface.
+type rawPortSender struct{ port *fabric.Port }
+
+// SendRaw implements the background source's output.
+func (r rawPortSender) SendRaw(p *packet.Packet) { r.port.Send(p) }

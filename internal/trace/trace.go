@@ -1,0 +1,160 @@
+// Package trace is a lightweight bounded event recorder for debugging the
+// stack: components append typed events to a ring buffer; tests and CLIs
+// dump a human-readable timeline. Tracing is optional everywhere (a nil
+// *Ring records nothing) and costs one branch when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds emitted by the stack's trace hooks.
+const (
+	// KindFlush is a receive-offload flush (segment delivered upward).
+	KindFlush Kind = iota
+	// KindBuffer is a packet entering an out-of-order queue.
+	KindBuffer
+	// KindPhase is a Juggler flow phase transition.
+	KindPhase
+	// KindEvict is a flow eviction.
+	KindEvict
+	// KindTimeout is an inseq/ofo timeout expiry.
+	KindTimeout
+	// KindDrop is a packet or segment dropped (queue, backlog, injector).
+	KindDrop
+	// KindRetransmit is a sender retransmission.
+	KindRetransmit
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFlush:
+		return "flush"
+	case KindBuffer:
+		return "buffer"
+	case KindPhase:
+		return "phase"
+	case KindEvict:
+		return "evict"
+	case KindTimeout:
+		return "timeout"
+	case KindDrop:
+		return "drop"
+	case KindRetransmit:
+		return "retransmit"
+	}
+	return "?"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Flow packet.FiveTuple
+	Seq  uint32
+	N    int // bytes or packets, kind-dependent
+	Note string
+}
+
+// Ring is a bounded event recorder. A nil Ring is valid and records
+// nothing, so call sites need no conditionals beyond the method call.
+type Ring struct {
+	sim    *sim.Sim
+	events []Event
+	next   int
+	full   bool
+
+	// Filter, when non-nil, limits recording to one flow.
+	Filter *packet.FiveTuple
+
+	// Total counts events offered (including those rotated out or
+	// filtered away only by capacity, not by Filter).
+	Total int64
+}
+
+// New creates a recorder holding the last cap events.
+func New(s *sim.Sim, cap int) *Ring {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &Ring{sim: s, events: make([]Event, cap)}
+}
+
+// Add records an event; safe on a nil receiver.
+func (r *Ring) Add(kind Kind, flow packet.FiveTuple, seq uint32, n int, note string) {
+	if r == nil {
+		return
+	}
+	if r.Filter != nil && *r.Filter != flow {
+		return
+	}
+	r.Total++
+	r.events[r.next] = Event{At: r.sim.Now(), Kind: kind, Flow: flow, Seq: seq, N: n, Note: note}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.full {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Events returns retained events oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump writes a readable timeline.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "%12v  %-10s  %v seq=%d n=%d %s\n",
+			e.At, e.Kind, e.Flow, e.Seq, e.N, e.Note)
+	}
+}
+
+// Summary aggregates retained events by kind.
+func (r *Ring) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range r.Events() {
+		counts[e.Kind]++
+	}
+	var parts []string
+	for k := KindFlush; k <= KindRetransmit; k++ {
+		if c := counts[k]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no events)"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+)
+
+var ft = packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.ProtoTCP}
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Add(KindFlush, ft, 1, 2, "x")
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil ring must record nothing")
+	}
+}
+
+func TestRingRotation(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, 4)
+	for i := 0; i < 10; i++ {
+		r.Add(KindBuffer, ft, uint32(i), 1, "")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	ev := r.Events()
+	for i, e := range ev {
+		if e.Seq != uint32(6+i) {
+			t.Fatalf("event %d seq = %d, want %d (oldest-first)", i, e.Seq, 6+i)
+		}
+	}
+	if r.Total != 10 {
+		t.Fatalf("total = %d", r.Total)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, 8)
+	other := ft
+	other.SrcPort = 99
+	r.Filter = &ft
+	r.Add(KindFlush, ft, 1, 1, "")
+	r.Add(KindFlush, other, 2, 1, "")
+	if r.Len() != 1 {
+		t.Fatalf("filter failed: %d events", r.Len())
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, 8)
+	r.Add(KindFlush, ft, 1, 3, "note")
+	r.Add(KindTimeout, ft, 2, 1, "ofo")
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "flush") || !strings.Contains(out, "ofo") {
+		t.Fatalf("dump missing content:\n%s", out)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "flush=1") || !strings.Contains(sum, "timeout=1") {
+		t.Fatalf("summary = %q", sum)
+	}
+	if New(s, 1).Summary() != "(no events)" {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindFlush; k <= KindRetransmit; k++ {
+		if k.String() == "?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTxTime(t *testing.T) {
+	// An MTU packet at 10G: (1500+38)*8 bits / 1e10 bps = 1230.4ns.
+	got := TxTime(MTU, Rate10G)
+	if got != 1230*time.Nanosecond {
+		t.Fatalf("TxTime(MTU, 10G) = %v, want 1230ns", got)
+	}
+	// Same packet at 40G is 4x faster.
+	got40 := TxTime(MTU, Rate40G)
+	if got40 != 307*time.Nanosecond {
+		t.Fatalf("TxTime(MTU, 40G) = %v, want 307ns", got40)
+	}
+}
+
+func TestTxTimeNoOverhead(t *testing.T) {
+	if got := TxTimeNoOverhead(1250, Rate10G); got != time.Microsecond {
+		t.Fatalf("10000 bits at 10G = %v, want 1us", got)
+	}
+}
+
+func TestMaxBatchTransmissionTime(t *testing.T) {
+	// The paper's rule of thumb: a 64KB TSO segment takes ~52us at 10G and
+	// ~13us at 40G. 45 MTU packets: 45*1538*8 = 553680 bits.
+	d10 := TxTime(MTU, Rate10G) * 45
+	if d10 < 52*time.Microsecond || d10 > 58*time.Microsecond {
+		t.Fatalf("45 MTUs at 10G = %v, want ~52-56us", d10)
+	}
+	d40 := TxTime(MTU, Rate40G) * 45
+	if d40 < 13*time.Microsecond || d40 > 15*time.Microsecond {
+		t.Fatalf("45 MTUs at 40G = %v, want ~13-14us", d40)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1.25 GB in 1 second = 10Gb/s.
+	if got := Throughput(1_250_000_000, time.Second); got != Rate10G {
+		t.Fatalf("Throughput = %v, want 10G", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("Throughput with zero duration = %v, want 0", got)
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	if got := BytesOver(Rate10G, time.Millisecond); got != 1_250_000 {
+		t.Fatalf("BytesOver = %d, want 1.25MB", got)
+	}
+	if got := BytesOver(Rate40G, -time.Second); got != 0 {
+		t.Fatalf("negative duration should give 0, got %d", got)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := map[BitRate]string{
+		Rate10G:      "10Gb/s",
+		Rate40G:      "40Gb/s",
+		2500 * Mbps:  "2.50Gb/s",
+		100 * Mbps:   "100.0Mb/s",
+		64 * Kbps:    "64.0Kb/s",
+		BitRate(500): "500b/s",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(r), got, want)
+		}
+	}
+}
+
+// Property: TxTime is monotone in size and antitone in rate.
+func TestPropertyTxTimeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		n1, n2 := int(a), int(a)+int(b)
+		return TxTime(n1, Rate10G) <= TxTime(n2, Rate10G) &&
+			TxTime(n1, Rate40G) <= TxTime(n1, Rate10G)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Throughput(BytesOver(r, d), d) ~= r within integer truncation.
+func TestPropertyRateRoundTrip(t *testing.T) {
+	f := func(ms uint8) bool {
+		d := time.Duration(int(ms)+1) * time.Millisecond
+		n := BytesOver(Rate40G, d)
+		got := Throughput(n, d)
+		diff := int64(got) - int64(Rate40G)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < int64(Rate40G)/1000 // within 0.1%
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSSConsistency(t *testing.T) {
+	if MSS != 1460 {
+		t.Fatalf("MSS = %d, want 1460", MSS)
+	}
+	if TSOMaxBytes/MSS != 44 { // 45 MTU-sized packets fit 64KB of payload, 44 full MSS
+		t.Fatalf("TSO payload fits %d MSS, want 44", TSOMaxBytes/MSS)
+	}
+}
