@@ -29,6 +29,16 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the simulation and returns an error when it failed to move
+// data — so scripted callers (CI smoke tests) see a non-zero exit instead
+// of a plausible-looking report over a dead transfer.
+func run() error {
 	stack := flag.String("stack", "juggler", "receiver stack: juggler | vanilla | linkedlist | none")
 	rateG := flag.Int("rate", 10, "link rate in Gb/s")
 	reorder := flag.Duration("reorder", 500*time.Microsecond, "reordering delay tau (0 = in order)")
@@ -53,8 +63,7 @@ func main() {
 	case "none":
 		kind = juggler.StackNone
 	default:
-		fmt.Fprintf(os.Stderr, "juggler-sim: unknown stack %q\n", *stack)
-		os.Exit(2)
+		return fmt.Errorf("unknown stack %q", *stack)
 	}
 
 	rate := juggler.Rate(*rateG) * juggler.Gbps
@@ -117,4 +126,8 @@ func main() {
 		fmt.Println("\n-- juggler event trace (most recent) --")
 		fmt.Println(p.DumpTrace(os.Stdout))
 	}
+	if total <= 0 {
+		return fmt.Errorf("no bytes delivered over the %v measurement window", *dur)
+	}
+	return nil
 }

@@ -1,0 +1,64 @@
+package juggler
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoStrayRandomness enforces the repo's bit-reproducibility contract:
+// every stochastic decision must draw from the per-run source handed out
+// by sim.Rand(). Constructing a new rand source or calling the global
+// math/rand functions anywhere else would silently break same-seed
+// reproducibility — the property the chaos checker, the experiment tables
+// and the CLI repro workflow all depend on.
+//
+// Non-test sources outside internal/sim may mention *rand.Rand as a type
+// (components receive the shared source as a parameter or field); what
+// they may not do is mint or seed one, call the global process-wide
+// functions, or import math/rand/v2 (whose global state is per-process,
+// not per-simulation).
+func TestNoStrayRandomness(t *testing.T) {
+	// Call sites only: each pattern requires the opening parenthesis, so
+	// type references like `rng *rand.Rand` stay legal.
+	forbidden := regexp.MustCompile(`\brand\.(NewSource|New|Seed|Int63n|Int63|Int31n|Int31|Intn|Int|Uint32|Uint64|Float64|Float32|Perm|Shuffle|ExpFloat64|NormFloat64)\s*\(`)
+	v2import := regexp.MustCompile(`"math/rand/v2"`)
+
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch {
+			case d.Name() == ".git":
+				return filepath.SkipDir
+			case filepath.ToSlash(path) == "internal/sim":
+				// The one place allowed to own a rand source: sim.New seeds
+				// it, sim.Rand hands it out.
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := forbidden.FindString(line); m != "" {
+				t.Errorf("%s:%d: %q — draw from sim.Rand() instead of minting or calling global math/rand state", path, i+1, m)
+			}
+			if v2import.MatchString(line) {
+				t.Errorf("%s:%d: math/rand/v2 import — its global state is per-process, not per-simulation; use sim.Rand()", path, i+1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

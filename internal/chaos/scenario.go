@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"juggler/internal/fabric"
+	"juggler/internal/nic"
+	"juggler/internal/sim"
+)
+
+// Scenario is a timed fault schedule: a named sequence of steps executed
+// at fixed offsets from Install time. Steps mutate impairment knobs (ramp
+// a loss probability on mid-flow) or trigger stateful faults (flap a link,
+// pause an RX queue, rehash RSS). Because steps run at deterministic
+// simulation times and all randomness below them comes from sim.Rand(),
+// a scenario replays identically for identical seeds.
+type Scenario struct {
+	Name string
+
+	steps []step
+	log   []string
+}
+
+// step is one scheduled action.
+type step struct {
+	at   time.Duration
+	what string
+	fn   func()
+}
+
+// NewScenario creates an empty schedule.
+func NewScenario(name string) *Scenario {
+	return &Scenario{Name: name}
+}
+
+// At schedules fn at offset d from Install time, annotated for the log.
+func (sc *Scenario) At(d time.Duration, what string, fn func()) *Scenario {
+	if d < 0 {
+		panic("chaos: scenario step in the past")
+	}
+	sc.steps = append(sc.steps, step{at: d, what: what, fn: fn})
+	return sc
+}
+
+// FlapLink schedules a link-down/link-up cycle on pt: down at offset d,
+// back up after outage. Queued frames on the port are lost, as on a real
+// link cut.
+func (sc *Scenario) FlapLink(d time.Duration, pt *fabric.Port, outage time.Duration) *Scenario {
+	sc.At(d, fmt.Sprintf("link %s down", pt.Name), func() { pt.SetDown(true) })
+	sc.At(d+outage, fmt.Sprintf("link %s up", pt.Name), func() { pt.SetDown(false) })
+	return sc
+}
+
+// PauseQueue schedules an RX-queue interrupt mask on rx queue i at offset
+// d, unmasked after stall. Arriving packets accumulate on the ring and
+// burst out on resume — the delivery stall an IRQ-affinity migration or a
+// pinned-core hiccup produces.
+func (sc *Scenario) PauseQueue(d time.Duration, rx *nic.RX, i int, stall time.Duration) *Scenario {
+	sc.At(d, fmt.Sprintf("rx queue %d paused", i), func() { rx.PauseQueue(i) })
+	sc.At(d+stall, fmt.Sprintf("rx queue %d resumed", i), func() { rx.ResumeQueue(i) })
+	return sc
+}
+
+// Rehash schedules a mid-flow RSS rehash at offset d: subsequent packets
+// of established flows may steer to different queues, stranding offload
+// state on the old queue.
+func (sc *Scenario) Rehash(d time.Duration, rx *nic.RX, salt uint32) *Scenario {
+	sc.At(d, fmt.Sprintf("rss rehash salt=%#x", salt), func() { rx.Rehash(salt) })
+	return sc
+}
+
+// Install schedules every step on s relative to now. The scenario may be
+// installed once per run.
+func (sc *Scenario) Install(s *sim.Sim) {
+	for i := range sc.steps {
+		st := sc.steps[i]
+		s.Schedule(st.at, func() {
+			sc.log = append(sc.log, fmt.Sprintf("[%v] %s", s.Now(), st.what))
+			st.fn()
+		})
+	}
+}
+
+// Log returns the executed steps in firing order, timestamped — part of
+// the deterministic run report.
+func (sc *Scenario) Log() []string { return sc.log }
+
+// Steps returns the number of scheduled steps.
+func (sc *Scenario) Steps() int { return len(sc.steps) }

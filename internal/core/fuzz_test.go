@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"juggler/internal/chaos"
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/units"
@@ -56,6 +57,83 @@ func FuzzJugglerReceive(f *testing.F) {
 		s.RunFor(time.Millisecond)
 		j.checkInvariants()
 		j.Flush()
+		if delivered != sent {
+			t.Fatalf("delivered %d of %d bytes", delivered, sent)
+		}
+	})
+}
+
+// FuzzChaosSegments drives Juggler with duplicated, overlapping, and
+// option-corrupted packets while the chaos invariant checker audits the
+// same stream end to end: every packet is registered as sent, every
+// delivered segment must be a conservation-respecting subset of the sent
+// bytes, and the gro_table is audited after every state-mutating entry
+// point through the Probe hook. This cross-checks core's own invariants
+// (checkInvariants) against the independent observer the fault-injection
+// harness uses — the two must never disagree.
+func FuzzChaosSegments(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 4, 0, 2, 5}) // dup then overlap
+	f.Add([]byte{0, 0, 2, 0, 1, 2, 0, 2, 2}) // corrupted options run
+	f.Add([]byte{1, 3, 6, 1, 3, 4, 2, 3, 5, 0, 9, 3})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		s := sim.New(1)
+		cfg := Config{
+			InseqTimeout: 15 * time.Microsecond,
+			OfoTimeout:   50 * time.Microsecond,
+			MaxFlows:     4,
+		}
+		ck := chaos.NewChecker(s, chaos.Config{})
+		sent, delivered := 0, 0
+		var j *Juggler
+		j = New(s, cfg, func(seg *packet.Segment) {
+			ck.ObserveSegment(seg)
+			delivered += seg.Bytes
+		})
+		j.Probe = ck.TableProbe("fuzz", j)
+		for i := 0; i+2 < len(program); i += 3 {
+			fl, slot, op := program[i], program[i+1], program[i+2]
+			p := &packet.Packet{
+				Flow: packet.FiveTuple{
+					SrcIP: uint32(fl%5) + 1, DstIP: 2,
+					SrcPort: uint16(fl % 5), DstPort: 80, Proto: packet.ProtoTCP,
+				},
+				Seq:        1 + uint32(slot%32)*units.MSS,
+				PayloadLen: units.MSS,
+				Flags:      packet.FlagACK,
+			}
+			send := 1
+			switch op % 8 {
+			case 1:
+				p.Flags |= packet.FlagPSH
+			case 2:
+				p.OptSig = uint32(op) // corrupted options signature
+			case 3:
+				s.RunFor(time.Duration(op) * time.Microsecond)
+			case 4:
+				send = 2 // exact duplicate
+			case 5:
+				p.Seq += units.MSS / 2 // straddles two slots
+			case 6:
+				p.PayloadLen = units.MSS / 2 // partial overlap of one slot
+			}
+			for ; send > 0; send-- {
+				q := *p // each copy is an independent wire packet
+				ck.NoteSent(&q)
+				sent += q.PayloadLen
+				j.Receive(&q)
+			}
+			if n := ck.Total(); n != 0 {
+				t.Fatalf("chaos checker flagged %d violations mid-run: %v", n, ck.Violations())
+			}
+		}
+		s.RunFor(time.Millisecond)
+		j.Flush()
+		if err := j.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if n := ck.Total(); n != 0 {
+			t.Fatalf("chaos checker flagged %d violations: %v", n, ck.Violations())
+		}
 		if delivered != sent {
 			t.Fatalf("delivered %d of %d bytes", delivered, sent)
 		}

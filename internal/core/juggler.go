@@ -19,6 +19,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"juggler/internal/gro"
@@ -211,6 +213,11 @@ type Juggler struct {
 	// Trace, when non-nil, records flush/buffer/phase/evict/timeout
 	// events (nil = zero overhead beyond one branch per event site).
 	Trace *trace.Ring
+
+	// Probe, when non-nil, is invoked after every state-mutating entry
+	// point (Receive, PollComplete, the timeout timer). The chaos invariant
+	// checker installs here to audit the gro_table continuously.
+	Probe func()
 }
 
 // New creates a Juggler instance delivering flushed segments to d.
@@ -254,11 +261,12 @@ func (j *Juggler) BufferedBytes() int {
 	return n
 }
 
-// checkInvariants panics if the internal bookkeeping is inconsistent:
-// every tracked flow on exactly one list matching its phase, list lengths
-// in agreement with the table, and the table within its bound. Tests call
-// it after every operation; it is not used on the hot path.
-func (j *Juggler) checkInvariants() {
+// CheckInvariants verifies the internal bookkeeping: every tracked flow on
+// exactly one list matching its phase, list lengths in agreement with the
+// table, post-merge flows holding nothing, and the table within its Table-2
+// eviction bound. It returns nil when consistent. Tests and the chaos
+// invariant checker call it after operations; it is not on the hot path.
+func (j *Juggler) CheckInvariants() error {
 	count := func(l *flowList) int {
 		n := 0
 		for e := l.head; e != nil; e = e.next {
@@ -268,13 +276,14 @@ func (j *Juggler) checkInvariants() {
 	}
 	if count(&j.active) != j.active.n || count(&j.inactive) != j.inactive.n ||
 		count(&j.loss) != j.loss.n {
-		panic("core: list length bookkeeping out of sync")
+		return errors.New("core: list length bookkeeping out of sync")
 	}
 	if j.active.n+j.inactive.n+j.loss.n != len(j.table) {
-		panic("core: lists and table disagree")
+		return errors.New("core: lists and table disagree")
 	}
 	if len(j.table) > j.cfg.MaxFlows {
-		panic("core: table exceeds MaxFlows")
+		return fmt.Errorf("core: table holds %d flows, exceeding MaxFlows %d",
+			len(j.table), j.cfg.MaxFlows)
 	}
 	for _, e := range j.table {
 		var want *flowList
@@ -287,16 +296,31 @@ func (j *Juggler) checkInvariants() {
 			want = &j.loss
 		}
 		if e.list != want {
-			panic("core: flow on the wrong list for its phase")
+			return fmt.Errorf("core: flow %v on the wrong list for phase %v", e.key, e.phase)
 		}
 		if e.phase == PhasePostMerge && !e.ooo.empty() {
-			panic("core: post-merge flow holds packets")
+			return fmt.Errorf("core: post-merge flow %v holds packets", e.key)
 		}
+	}
+	return nil
+}
+
+// checkInvariants is the panicking test helper around CheckInvariants.
+func (j *Juggler) checkInvariants() {
+	if err := j.CheckInvariants(); err != nil {
+		panic(err)
 	}
 }
 
 // Receive implements gro.Offload: one packet within a polling interval.
 func (j *Juggler) Receive(p *packet.Packet) {
+	j.receive(p)
+	if j.Probe != nil {
+		j.Probe()
+	}
+}
+
+func (j *Juggler) receive(p *packet.Packet) {
 	j.c.Packets++
 	if p.PassThrough() {
 		j.emit(packet.FromPacket(p))
@@ -480,11 +504,17 @@ func (j *Juggler) emit(seg *packet.Segment) {
 // polling completions (§4.2.2), in addition to the high-resolution timer.
 func (j *Juggler) PollComplete() {
 	j.checkTimeouts()
+	if j.Probe != nil {
+		j.Probe()
+	}
 }
 
 // onTimer is the one high-resolution timer callback per gro_table.
 func (j *Juggler) onTimer() {
 	j.checkTimeouts()
+	if j.Probe != nil {
+		j.Probe()
+	}
 }
 
 // flowDeadline returns the next timeout instant for a flow, or 0 when it

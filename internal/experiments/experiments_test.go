@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig9", "fig10", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig18", "fig20", "latency", "lossofo",
+		"fig15", "fig16", "fig18", "fig20", "latency", "lossofo", "chaos",
 		"abl-linkedlist", "abl-buildup", "abl-eviction", "abl-conntrack", "abl-worstcase",
 		"ext-flowlet", "ext-websearch", "ext-rss", "ext-sctp"}
 	ids := IDs()
@@ -164,6 +164,18 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	ppLarge := parse(t, findRow(t, fig20, "90", "perpacket")[2])
 	if ppLarge > ecmpLarge {
 		t.Errorf("fig20: per-packet large p99 %.1fms worse than ECMP %.1fms at 90%%", ppLarge, ecmpLarge)
+	}
+
+	// chaos: every Juggler scenario is violation-free; the vanilla+reorder
+	// control row must trip the order invariant (the checker has teeth).
+	chaosTab := tables["chaos"]
+	for _, row := range chaosTab.Rows {
+		if row[1] == "juggler" && row[6] != "ok" {
+			t.Errorf("chaos: juggler scenario %q violated invariants: %v", row[0], row)
+		}
+	}
+	if row := findRow(t, chaosTab, "reorder", "vanilla"); row[6] != "VIOLATED" {
+		t.Errorf("chaos: vanilla under reordering should trip the order invariant: %v", row)
 	}
 
 	// abl-conntrack: juggler keeps the tracker clean under reordering.

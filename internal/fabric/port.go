@@ -33,10 +33,15 @@ type Port struct {
 	dst   Sink
 
 	busy bool
+	down bool
 
 	// TxPkts / TxBytes count transmitted traffic.
 	TxPkts  int64
 	TxBytes int64
+
+	// DroppedDown counts packets lost to the link being down (arrivals
+	// while down plus queued frames discarded when the link goes down).
+	DroppedDown int64
 
 	// Probe, when non-nil, samples queue occupancy at each enqueue.
 	Probe *OccupancyProbe
@@ -60,9 +65,33 @@ func (pt *Port) Rate() units.BitRate { return pt.rate }
 // Queue returns the port's queue (for stats inspection).
 func (pt *Port) Queue() Queue { return pt.queue }
 
+// SetDown changes the link's administrative state. Taking the link down
+// discards the queue contents (frames waiting on a dead link are lost) and
+// drops subsequent arrivals; a frame already mid-serialization still
+// completes, as it was effectively on the wire when the link cut. Bringing
+// the link back up resumes service with the next Send.
+func (pt *Port) SetDown(down bool) {
+	if pt.down == down {
+		return
+	}
+	pt.down = down
+	if down {
+		for pt.queue.Dequeue() != nil {
+			pt.DroppedDown++
+		}
+	}
+}
+
+// Down reports whether the link is down.
+func (pt *Port) Down() bool { return pt.down }
+
 // Send enqueues p for transmission; if the queue rejects it the packet is
 // silently dropped (the queue records the drop).
 func (pt *Port) Send(p *packet.Packet) {
+	if pt.down {
+		pt.DroppedDown++
+		return
+	}
 	if pt.Probe != nil {
 		pt.Probe.Observe(pt.queue.Bytes())
 	}

@@ -140,6 +140,7 @@ type rxQueue struct {
 
 	coalesce     *sim.Timer
 	polling      bool
+	paused       bool
 	episodeStart sim.Time
 
 	// Polls counts NAPI poll batches; BatchSizes samples packets per poll.
@@ -182,8 +183,10 @@ func (rx *RX) Deliver(p *packet.Packet) {
 	rx.RxPackets++
 	q := rx.queues[rx.pick(p)]
 	q.ring = append(q.ring, p)
-	if q.polling {
-		return // NAPI is draining; the packet will be seen by a later poll
+	if q.polling || q.paused {
+		// NAPI is draining (the packet will be seen by a later poll), or the
+		// queue's interrupt is masked: the ring accumulates silently.
+		return
 	}
 	if rx.cfg.CoalesceFrames > 0 && len(q.ring) >= rx.cfg.CoalesceFrames {
 		q.interrupt()
@@ -191,6 +194,38 @@ func (rx *RX) Deliver(p *packet.Packet) {
 	}
 	q.coalesce.ArmIfIdle(rx.cfg.CoalesceDelay)
 }
+
+// PauseQueue masks queue i's interrupt: arriving packets accumulate on the
+// ring and no polling episode starts until ResumeQueue. An in-progress NAPI
+// episode keeps draining (masking the IRQ does not stop active polling),
+// exactly the stall a pinned-core hiccup or IRQ-affinity change produces.
+func (rx *RX) PauseQueue(i int) {
+	q := rx.queues[i]
+	q.paused = true
+	q.coalesce.Stop()
+}
+
+// ResumeQueue unmasks queue i's interrupt; a backlogged ring fires
+// immediately.
+func (rx *RX) ResumeQueue(i int) {
+	q := rx.queues[i]
+	if !q.paused {
+		return
+	}
+	q.paused = false
+	if len(q.ring) > 0 {
+		q.interrupt()
+	}
+}
+
+// QueuePaused reports whether queue i's interrupt is masked.
+func (rx *RX) QueuePaused(i int) bool { return rx.queues[i].paused }
+
+// Rehash replaces the RSS salt mid-flow, the way a driver reprogramming the
+// indirection table rebalances queues: subsequent packets of a flow may land
+// on a different queue than its earlier packets, whose offload state stays
+// behind on the old queue.
+func (rx *RX) Rehash(salt uint32) { rx.cfg.RSSSalt = salt }
 
 // pick selects the RX queue for a packet.
 func (rx *RX) pick(p *packet.Packet) int {
@@ -223,7 +258,7 @@ type RXQueueInfo struct {
 // interrupt switches the queue into polling mode; the kernel then polls
 // until it empties the queue (or hits the 2 ms bound).
 func (q *rxQueue) interrupt() {
-	if q.polling {
+	if q.polling || q.paused {
 		return
 	}
 	q.polling = true

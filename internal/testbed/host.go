@@ -112,6 +112,12 @@ type Host struct {
 	// CT is the optional netfilter connection tracker.
 	CT *netfilter.Conntrack
 
+	// SegmentTap, when non-nil, observes every segment leaving the offload
+	// layer, before conntrack and app-core accounting. The chaos invariant
+	// checker installs here — it is the "delivered to TCP" observation
+	// point.
+	SegmentTap func(seg *packet.Segment)
+
 	// DroppedSegs counts segments lost to app-core backlog overflow.
 	DroppedSegs int64
 	// UnmatchedSegs counts segments with no registered endpoint.
@@ -188,6 +194,9 @@ func (h *Host) Sink() fabric.Sink { return h.RX }
 // onSegment is the offload upcall: charge the app core and dispatch to the
 // owning TCP endpoint once the core's queue serves the segment.
 func (h *Host) onSegment(seg *packet.Segment) {
+	if h.SegmentTap != nil {
+		h.SegmentTap(seg)
+	}
 	if h.CT != nil {
 		if v := h.CT.Inspect(seg); h.CT.ShouldDrop(v) {
 			return
