@@ -1,6 +1,7 @@
 package juggler
 
 import (
+	"io"
 	"time"
 
 	"juggler/internal/bwguard"
@@ -9,6 +10,7 @@ import (
 	"juggler/internal/sim"
 	"juggler/internal/stats"
 	"juggler/internal/tcp"
+	"juggler/internal/telemetry"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
 	"juggler/internal/workload"
@@ -39,6 +41,9 @@ type ClusterConfig struct {
 	Tuning Tuning
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Telemetry enables the cross-layer observability sink; read the
+	// exports back with WriteTrace / WritePcap / WriteMetrics.
+	Telemetry bool
 }
 
 // Cluster is a running Clos simulation.
@@ -78,6 +83,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cfg.Tuning = DefaultTuning(cfg.LinkRate)
 	}
 	s := sim.New(cfg.Seed)
+	if cfg.Telemetry {
+		telemetry.New(s, telemetry.Options{})
+	}
 	var picker fabric.Picker
 	switch cfg.LB {
 	case PerPacket:
@@ -162,6 +170,22 @@ func (c *Cluster) Now() time.Duration { return time.Duration(c.s.Now()) }
 
 // At schedules fn after d of simulated time.
 func (c *Cluster) At(d time.Duration, fn func()) { c.s.Schedule(d, fn) }
+
+// WriteTrace writes the run's flight recorder as Perfetto/Chrome
+// trace-event JSON. No-op unless ClusterConfig.Telemetry is set.
+func (c *Cluster) WriteTrace(w io.Writer) error {
+	return telemetry.FromSim(c.s).WriteTrace(w)
+}
+
+// WritePcap writes the run's packet capture as a pcapng file.
+func (c *Cluster) WritePcap(w io.Writer) error {
+	return telemetry.FromSim(c.s).WritePcap(w)
+}
+
+// WriteMetrics writes the run's metric snapshot in Prometheus text format.
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	return telemetry.FromSim(c.s).Reg().WriteProm(w)
+}
 
 // Stats summarizes a node's receive path.
 func (n *Node) Stats() HostStats {

@@ -20,22 +20,22 @@
 //	2us   a  2920 1460
 //	$ juggler-replay -inseq 15us -ofo 50us fig6.trace
 //
-// With no file, the trace is read from stdin.
+// With no file, the trace is read from stdin. -trace and -pcap export the
+// run's telemetry as Perfetto trace-event JSON and pcapng respectively.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"juggler/internal/core"
 	"juggler/internal/packet"
+	"juggler/internal/replay"
 	"juggler/internal/sim"
-	"juggler/internal/trace"
+	"juggler/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +45,8 @@ func main() {
 	noLearn := flag.Bool("nolearn", false, "disable build-up seq_next learning (Remark 1 ablation)")
 	drain := flag.Duration("drain", 10*time.Millisecond, "time to run after the last packet")
 	events := flag.Bool("events", false, "dump the internal event trace too")
+	traceOut := flag.String("trace", "", "write Perfetto/Chrome trace-event JSON to this file")
+	pcapOut := flag.String("pcap", "", "write a pcapng packet capture to this file")
 	flag.Parse()
 
 	in := os.Stdin
@@ -58,17 +60,19 @@ func main() {
 		in = f
 	}
 
-	pkts, err := parseTrace(in)
+	tr, err := replay.Parse(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "juggler-replay:", err)
 		os.Exit(1)
 	}
-	if len(pkts) == 0 {
+	if len(tr.Packets) == 0 {
 		fmt.Fprintln(os.Stderr, "juggler-replay: empty trace")
 		os.Exit(1)
 	}
 
 	s := sim.New(1)
+	tel := telemetry.New(s, telemetry.Options{EventCap: 4096})
+	iface := tel.Iface("replay")
 	cfg := core.Config{
 		InseqTimeout:           *inseq,
 		OfoTimeout:             *ofo,
@@ -77,26 +81,22 @@ func main() {
 	}
 	j := core.New(s, cfg, func(seg *packet.Segment) {
 		fmt.Printf("%12v  DELIVER %-8s seq=%-8d len=%-7d pkts=%-3d %v\n",
-			time.Duration(s.Now()), flowName(seg.Flow), seg.Seq, seg.Bytes, seg.Pkts, seg.Flags)
+			time.Duration(s.Now()), tr.FlowName(seg.Flow), seg.Seq, seg.Bytes, seg.Pkts, seg.Flags)
 	})
-	j.Trace = trace.New(s, 4096)
 
-	var last time.Duration
-	for _, tp := range pkts {
+	for _, tp := range tr.Packets {
 		tp := tp
-		s.Schedule(tp.at, func() {
+		s.Schedule(tp.At, func() {
 			fmt.Printf("%12v  arrive  %-8s seq=%-8d len=%-7d %v\n",
-				tp.at, flowName(tp.pkt.Flow), tp.pkt.Seq, tp.pkt.PayloadLen, tp.pkt.Flags)
-			j.Receive(&tp.pkt)
+				tp.At, tr.FlowName(tp.Pkt.Flow), tp.Pkt.Seq, tp.Pkt.PayloadLen, tp.Pkt.Flags)
+			tel.CapturePacket(iface, true, &tp.Pkt)
+			j.Receive(&tp.Pkt)
 		})
-		if tp.at > last {
-			last = tp.at
-		}
 	}
 	// Poll completions pace the timeout checks, as in the NIC.
 	tick := sim.NewTicker(s, 5*time.Microsecond, j.PollComplete)
 	tick.Start()
-	s.RunFor(last + *drain)
+	s.RunFor(tr.Last() + *drain)
 	tick.Stop()
 
 	fmt.Println()
@@ -114,89 +114,31 @@ func main() {
 	fmt.Printf("buffered now      %d bytes\n", j.BufferedBytes())
 	if *events {
 		fmt.Println("\n-- event trace --")
-		j.Trace.Dump(os.Stdout)
+		tel.Recorder.Dump(os.Stdout)
+	}
+	if *traceOut != "" {
+		if err := export(*traceOut, tel.WriteTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "juggler-replay:", err)
+			os.Exit(1)
+		}
+	}
+	if *pcapOut != "" {
+		if err := export(*pcapOut, tel.WritePcap); err != nil {
+			fmt.Fprintln(os.Stderr, "juggler-replay:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-// timedPacket is one parsed trace line.
-type timedPacket struct {
-	at  time.Duration
-	pkt packet.Packet
-}
-
-// flowNames maps labels to synthetic five-tuples deterministically.
-var (
-	flowIDs   = map[string]packet.FiveTuple{}
-	flowNames = map[packet.FiveTuple]string{}
-)
-
-func flowFor(label string) packet.FiveTuple {
-	if ft, ok := flowIDs[label]; ok {
-		return ft
+// export writes one telemetry artifact to path.
+func export(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	ft := packet.FiveTuple{
-		SrcIP: 0x0a000001, DstIP: 0x0a000002,
-		SrcPort: uint16(20000 + len(flowIDs)), DstPort: 5001,
-		Proto: packet.ProtoTCP,
+	if err := write(f); err != nil {
+		f.Close()
+		return err
 	}
-	flowIDs[label] = ft
-	flowNames[ft] = label
-	return ft
-}
-
-func flowName(ft packet.FiveTuple) string {
-	if n, ok := flowNames[ft]; ok {
-		return n
-	}
-	return ft.String()
-}
-
-// parseTrace reads the trace format described in the package comment.
-func parseTrace(f *os.File) ([]timedPacket, error) {
-	var out []timedPacket
-	sc := bufio.NewScanner(f)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			return nil, fmt.Errorf("line %d: want <time> <flow> <seq> <len> [flags]", lineNo)
-		}
-		at, err := time.ParseDuration(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad time %q: %v", lineNo, fields[0], err)
-		}
-		seq, err := strconv.ParseUint(fields[2], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad seq %q", lineNo, fields[2])
-		}
-		n, err := strconv.Atoi(fields[3])
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("line %d: bad len %q", lineNo, fields[3])
-		}
-		p := packet.Packet{
-			Flow: flowFor(fields[1]), Seq: uint32(seq), PayloadLen: n,
-			Flags: packet.FlagACK,
-		}
-		if len(fields) > 4 {
-			for _, c := range fields[4] {
-				switch c {
-				case 'P':
-					p.Flags |= packet.FlagPSH
-				case 'F':
-					p.Flags |= packet.FlagFIN
-				case 'A':
-					p.PayloadLen = 0
-				default:
-					return nil, fmt.Errorf("line %d: unknown flag %q", lineNo, c)
-				}
-			}
-		}
-		out = append(out, timedPacket{at: at, pkt: p})
-	}
-	return out, sc.Err()
+	return f.Close()
 }

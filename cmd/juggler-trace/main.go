@@ -1,0 +1,153 @@
+// Command juggler-trace runs one experiment (or a textual packet trace)
+// with the cross-layer telemetry sink attached and exports the run's
+// observability artifacts:
+//
+//   - a Chrome/Perfetto trace-event JSON timeline (-trace, open in
+//     https://ui.perfetto.dev or chrome://tracing),
+//   - a pcapng packet capture (-pcap, open in Wireshark/tshark),
+//   - a Prometheus text-format metrics snapshot (-metrics).
+//
+// Usage:
+//
+//	juggler-trace [-experiment fig6] [-quick] [-seed N] \
+//	              [-trace out.json] [-pcap out.pcapng] [-metrics out.prom]
+//	juggler-trace -replay trace.txt [-trace out.json] ...
+//
+// Sweeping experiments attach a fresh sink per parameter point; the
+// exported artifacts describe the last point run (the table itself covers
+// the sweep). A per-layer event summary is printed so smoke tests can
+// assert coverage.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/experiments"
+	"juggler/internal/packet"
+	"juggler/internal/replay"
+	"juggler/internal/sim"
+	"juggler/internal/telemetry"
+)
+
+func main() {
+	exp := flag.String("experiment", "fig6", "experiment ID to run (see -list)")
+	replayPath := flag.String("replay", "", "replay a textual packet trace instead of an experiment")
+	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
+	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical exports)")
+	traceOut := flag.String("trace", "trace.json", "write Perfetto/Chrome trace-event JSON here ('' disables)")
+	pcapOut := flag.String("pcap", "", "write a pcapng packet capture here")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
+	eventCap := flag.Int("events", 1<<16, "flight-recorder capacity (events)")
+	fabricQueues := flag.Bool("fabric-queues", false, "also record per-enqueue fabric occupancy events")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-16s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	opts := telemetry.Options{EventCap: *eventCap, FabricQueues: *fabricQueues}
+	var sink *telemetry.Sink
+
+	if *replayPath != "" {
+		sink = runReplay(*replayPath, *seed, opts)
+	} else {
+		o := experiments.Options{Seed: *seed, Quick: *quick}
+		o.AttachTelemetry = func(s *sim.Sim) { sink = telemetry.New(s, opts) }
+		t := experiments.Run(*exp, o)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "juggler-trace: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if sink == nil {
+		fmt.Fprintln(os.Stderr, "juggler-trace: the run created no simulation; nothing to export")
+		os.Exit(1)
+	}
+
+	rec := sink.Recorder
+	fmt.Printf("telemetry: %d events from %d layers, %d packets captured\n",
+		rec.Total, rec.Layers(), sink.Capture.Len())
+	for l := telemetry.LayerFabric; l <= telemetry.LayerHost; l++ {
+		if n := rec.ByLayer[l]; n > 0 {
+			fmt.Printf("  layer %-8s %d events\n", l, n)
+		}
+	}
+
+	for _, e := range []struct {
+		path  string
+		write func(w io.Writer) error
+		what  string
+	}{
+		{*traceOut, sink.WriteTrace, "trace-event JSON"},
+		{*pcapOut, sink.WritePcap, "pcapng capture"},
+		{*metricsOut, sink.Metrics.WriteProm, "metrics snapshot"},
+	} {
+		if e.path == "" {
+			continue
+		}
+		if err := export(e.path, e.write); err != nil {
+			fmt.Fprintln(os.Stderr, "juggler-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s to %s\n", e.what, e.path)
+	}
+}
+
+// runReplay feeds a parsed packet trace through a standalone Juggler with
+// telemetry attached (the juggler-replay apparatus, export-oriented).
+func runReplay(path string, seed int64, opts telemetry.Options) *telemetry.Sink {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := replay.Parse(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-trace:", err)
+		os.Exit(1)
+	}
+	if len(tr.Packets) == 0 {
+		fmt.Fprintln(os.Stderr, "juggler-trace: empty trace")
+		os.Exit(1)
+	}
+	s := sim.New(seed)
+	sink := telemetry.New(s, opts)
+	iface := sink.Iface("replay")
+	j := core.New(s, core.DefaultConfig(), func(seg *packet.Segment) {})
+	for _, tp := range tr.Packets {
+		tp := tp
+		s.Schedule(tp.At, func() {
+			sink.CapturePacket(iface, true, &tp.Pkt)
+			j.Receive(&tp.Pkt)
+		})
+	}
+	tick := sim.NewTicker(s, 5*time.Microsecond, j.PollComplete)
+	tick.Start()
+	s.RunFor(tr.Last() + 10*time.Millisecond)
+	tick.Stop()
+	return sink
+}
+
+// export writes one telemetry artifact to path.
+func export(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

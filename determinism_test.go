@@ -1,11 +1,13 @@
 package juggler
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestNoStrayRandomness enforces the repo's bit-reproducibility contract:
@@ -60,5 +62,50 @@ func TestNoStrayRandomness(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTelemetryExportsDeterministic is the end-to-end counterpart of the
+// randomness lint above: two identically-seeded runs through the public
+// apparatus must export byte-identical telemetry artifacts — the Perfetto
+// trace, the pcapng capture, and the metrics snapshot. Any hidden
+// nondeterminism (map iteration in an exporter, wall-clock timestamps, a
+// stray rand source) shows up here as a byte diff.
+func TestTelemetryExportsDeterministic(t *testing.T) {
+	run := func() (trace, pcap, prom []byte) {
+		p := NewReorderPair(ReorderPairConfig{
+			Seed:         7,
+			ReorderDelay: 250 * time.Microsecond,
+			DropProb:     0.001,
+			Telemetry:    true,
+		})
+		p.AddBulkFlow(0)
+		p.Run(10 * time.Millisecond)
+		var tb, pb, mb bytes.Buffer
+		if err := p.WriteTrace(&tb); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		if err := p.WritePcap(&pb); err != nil {
+			t.Fatalf("WritePcap: %v", err)
+		}
+		if err := p.WriteMetrics(&mb); err != nil {
+			t.Fatalf("WriteMetrics: %v", err)
+		}
+		return tb.Bytes(), pb.Bytes(), mb.Bytes()
+	}
+
+	t1, p1, m1 := run()
+	t2, p2, m2 := run()
+	if len(t1) == 0 || len(p1) == 0 || len(m1) == 0 {
+		t.Fatalf("empty export: trace=%d pcap=%d metrics=%d bytes", len(t1), len(p1), len(m1))
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("trace-event JSON differs between identically-seeded runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Errorf("pcapng capture differs between identically-seeded runs (%d vs %d bytes)", len(p1), len(p2))
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("metrics snapshot differs between identically-seeded runs (%d vs %d bytes)", len(m1), len(m2))
 	}
 }

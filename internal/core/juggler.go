@@ -26,7 +26,7 @@ import (
 	"juggler/internal/gro"
 	"juggler/internal/packet"
 	"juggler/internal/sim"
-	"juggler/internal/trace"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -210,9 +210,13 @@ type Juggler struct {
 	c     gro.Counters
 	Stats Stats
 
-	// Trace, when non-nil, records flush/buffer/phase/evict/timeout
-	// events (nil = zero overhead beyond one branch per event site).
-	Trace *trace.Ring
+	// tel is the run's telemetry sink; nil disables recording at the cost
+	// of one branch per event site. The metric instruments below are all
+	// nil no-ops when telemetry is off.
+	tel                                              *telemetry.Sink
+	mFlushEvent, mFlushInseq, mFlushOfo, mFlushEvict *telemetry.Counter
+	mRetrans, mDuplicates, mOfoTimeouts, mEvictions  *telemetry.Counter
+	hFlushPkts                                       *telemetry.Histogram
 
 	// Probe, when non-nil, is invoked after every state-mutating entry
 	// point (Receive, PollComplete, the timeout timer). The chaos invariant
@@ -230,8 +234,32 @@ func New(s *sim.Sim, cfg Config, d gro.Deliver) *Juggler {
 	}
 	j := &Juggler{sim: s, cfg: cfg, deliver: d, table: map[packet.FiveTuple]*flowEntry{}}
 	j.timer = sim.NewTimer(s, j.onTimer)
+	j.Instrument(telemetry.FromSim(s))
 	return j
 }
+
+// Instrument (re)binds the instance to a telemetry sink. New wires up the
+// sink attached to the simulation automatically; harnesses that enable
+// telemetry after construction call it directly. A nil sink disables
+// recording.
+func (j *Juggler) Instrument(k *telemetry.Sink) {
+	j.tel = k
+	r := k.Reg()
+	const flushName = "juggler_flush_total"
+	const flushHelp = "Juggler segments flushed, by cause (Table 2)."
+	j.mFlushEvent = r.CounterL(flushName, flushHelp, "reason", "event")
+	j.mFlushInseq = r.CounterL(flushName, flushHelp, "reason", "inseq_timeout")
+	j.mFlushOfo = r.CounterL(flushName, flushHelp, "reason", "ofo_timeout")
+	j.mFlushEvict = r.CounterL(flushName, flushHelp, "reason", "evict")
+	j.mRetrans = r.Counter("juggler_retransmissions_total", "Packets passed through as inferred retransmissions.")
+	j.mDuplicates = r.Counter("juggler_duplicates_total", "Packets whose byte range was already buffered.")
+	j.mOfoTimeouts = r.Counter("juggler_ofo_timeouts_total", "ofo_timeout expirations (loss inferences).")
+	j.mEvictions = r.Counter("juggler_evictions_total", "Flows evicted from gro_table.")
+	j.hFlushPkts = r.Histogram("juggler_flush_pkts", "Packets per flushed segment (batching).")
+}
+
+// Telemetry returns the bound sink (nil when telemetry is off).
+func (j *Juggler) Telemetry() *telemetry.Sink { return j.tel }
 
 // Config returns the instance's configuration.
 func (j *Juggler) Config() Config { return j.cfg }
@@ -341,6 +369,7 @@ func (j *Juggler) receive(p *packet.Packet) {
 		if packet.SeqLess(p.Seq, e.seqNext) {
 			if j.cfg.DisableBuildUpLearning {
 				j.Stats.Retransmissions++
+				j.mRetrans.Inc()
 				j.emit(packet.FromPacket(p))
 				return
 			}
@@ -354,6 +383,9 @@ func (j *Juggler) receive(p *packet.Packet) {
 		// and flushed immediately, never buffered (Figure 6).
 		if packet.SeqLess(p.Seq, e.seqNext) {
 			j.Stats.Retransmissions++
+			j.mRetrans.Inc()
+			j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindRetransmit,
+				Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: "inferred"})
 			j.emit(packet.FromPacket(p))
 			if e.phase == PhaseLossRecovery && j.fillsHole(e, p) {
 				j.exitLossRecovery(e)
@@ -380,7 +412,8 @@ func (j *Juggler) fillsHole(e *flowEntry, p *packet.Packet) bool {
 func (j *Juggler) exitLossRecovery(e *flowEntry) {
 	j.loss.remove(e)
 	j.Stats.LossRecoveryExited++
-	j.Trace.Add(trace.KindPhase, e.key, e.seqNext, 0, "loss-recovery-exit")
+	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
+		Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-exit"})
 	if e.ooo.empty() {
 		e.phase = PhasePostMerge
 		j.inactive.pushBack(e)
@@ -417,13 +450,15 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 	}
 	res, fastPath := e.ooo.insert(p)
 	if !fastPath {
-		j.Trace.Add(trace.KindBuffer, p.Flow, p.Seq, p.PayloadLen, e.phase.String())
+		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindBuffer,
+			Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: e.phase.String()})
 		// Only genuine out-of-order queue surgery costs more than the
 		// in-sequence merge standard GRO already performs.
 		j.c.OOOWork++
 	}
 	if res == insDuplicate {
 		j.Stats.Duplicates++
+		j.mDuplicates.Inc()
 		j.emit(packet.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
 		return
 	}
@@ -449,15 +484,16 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 		if !closed {
 			return
 		}
-		j.flushHead(e, &j.Stats.FlushEvent)
+		j.flushHead(e, &j.Stats.FlushEvent, j.mFlushEvent)
 	}
 }
 
 // flushHead delivers the head segment and advances flow state; reason
-// points at the statistic to increment.
-func (j *Juggler) flushHead(e *flowEntry, reason *int64) {
+// points at the statistic to increment, mirrored by the metric counter.
+func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter) {
 	seg := e.ooo.popHead()
 	*reason++
+	m.Inc()
 	j.emitMerged(seg)
 	e.seqNext = seg.EndSeq()
 	e.flushTimestamp = j.sim.Now()
@@ -491,7 +527,9 @@ func (j *Juggler) emitMerged(seg *packet.Segment) {
 	if seg.Pkts > 1 {
 		j.c.MergedPkts += int64(seg.Pkts)
 	}
-	j.Trace.Add(trace.KindFlush, seg.Flow, seg.Seq, seg.Pkts, "")
+	j.hFlushPkts.Observe(int64(seg.Pkts))
+	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindFlush,
+		Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Pkts)})
 	j.emit(seg)
 }
 
@@ -587,7 +625,7 @@ func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
 			if head == nil || head.Seq != e.seqNext {
 				break
 			}
-			j.flushHead(e, &j.Stats.FlushInseqTimeout)
+			j.flushHead(e, &j.Stats.FlushInseqTimeout, j.mFlushInseq)
 		}
 	}
 	head = e.ooo.head()
@@ -604,10 +642,13 @@ func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
 // loss recovery (§4.2.5, Figure 7).
 func (j *Juggler) ofoExpire(e *flowEntry) {
 	j.Stats.OfoTimeouts++
-	j.Trace.Add(trace.KindTimeout, e.key, e.seqNext, e.ooo.pkts(), "ofo")
+	j.mOfoTimeouts.Inc()
+	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindTimeout,
+		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: "ofo"})
 	firstMissing := e.seqNext
 	for _, seg := range e.ooo.drain() {
 		j.Stats.FlushOfoTimeout++
+		j.mFlushOfo.Inc()
 		j.emitMerged(seg)
 		e.seqNext = packet.SeqMax(e.seqNext, seg.EndSeq())
 	}
@@ -623,6 +664,8 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 		j.loss.pushBack(e)
 		e.phase = PhaseLossRecovery
 		j.Stats.LossRecoveryEntered++
+		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
+			Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-enter"})
 	case PhasePostMerge:
 		panic("core: ofo expiry with empty queue")
 	}
@@ -670,9 +713,12 @@ func (j *Juggler) evictOne() {
 
 // evict removes the flow and flushes all its packets to higher layers.
 func (j *Juggler) evict(e *flowEntry) {
-	j.Trace.Add(trace.KindEvict, e.key, e.seqNext, e.ooo.pkts(), e.phase.String())
+	j.mEvictions.Inc()
+	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
+		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: e.phase.String()})
 	for _, seg := range e.ooo.drain() {
 		j.Stats.FlushEvict++
+		j.mFlushEvict.Inc()
 		j.emitMerged(seg)
 	}
 	e.list.remove(e)

@@ -7,7 +7,7 @@ import (
 
 	"juggler/internal/packet"
 	"juggler/internal/sim"
-	"juggler/internal/trace"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -708,19 +708,20 @@ func TestBufferedBytesTracksQueue(t *testing.T) {
 // interesting transitions.
 func TestTraceHooks(t *testing.T) {
 	h := newHarness(cfgTest())
-	h.j.Trace = trace.New(h.s, 64)
+	k := telemetry.New(h.s, telemetry.Options{EventCap: 64})
+	h.j.Instrument(k)
 	h.recv(dataPkt(0))
 	h.run(20 * time.Microsecond) // inseq flush
 	h.recv(dataPkt(2))           // hole opens
 	h.recv(dataPkt(4))           // second out-of-order segment: queue surgery
 	h.run(60 * time.Microsecond) // ofo timeout -> loss recovery
-	kinds := map[trace.Kind]bool{}
-	for _, e := range h.j.Trace.Events() {
+	kinds := map[telemetry.Kind]bool{}
+	for _, e := range k.Recorder.Events() {
 		kinds[e.Kind] = true
 	}
-	for _, want := range []trace.Kind{trace.KindFlush, trace.KindBuffer, trace.KindTimeout} {
+	for _, want := range []telemetry.Kind{telemetry.KindFlush, telemetry.KindBuffer, telemetry.KindTimeout} {
 		if !kinds[want] {
-			t.Fatalf("missing %v event; have %s", want, h.j.Trace.Summary())
+			t.Fatalf("missing %v event; have %s", want, k.Recorder.Summary())
 		}
 	}
 }

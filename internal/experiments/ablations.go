@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"juggler/internal/core"
-	"juggler/internal/sim"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -28,7 +27,7 @@ func ablLinkedList(o Options) *Table {
 		jcfg := core.DefaultConfig()
 		jcfg.InseqTimeout = 52 * time.Microsecond
 		res := runNetFPGABulk(netfpgaRun{
-			tau: 0, jcfg: jcfg, kind: kind, seed: o.Seed,
+			tau: 0, jcfg: jcfg, kind: kind, seed: o.Seed, attach: o.AttachTelemetry,
 		}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
 		total := res.rxUtil + res.appUtil
 		if kind == testbed.OffloadVanilla {
@@ -90,7 +89,7 @@ type manyFlowsResult struct {
 // runManyFlows drives n paced flows through the delay switch with a
 // Juggler receiver and returns aggregate statistics.
 func runManyFlows(o Options, jcfg core.Config, n int, tau time.Duration) manyFlowsResult {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	rcvCfg := testbed.DefaultHostConfig(testbed.OffloadJuggler)
 	rcvCfg.Juggler = jcfg
 	tb := testbed.NewNetFPGAPair(s, units.Rate10G, tau, 0,

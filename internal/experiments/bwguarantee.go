@@ -26,7 +26,7 @@ type guaranteeSetup struct {
 }
 
 func newGuaranteeSetup(o Options, kind testbed.OffloadKind) *guaranteeSetup {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	tb := testbed.NewClosTestbed(s, fabric.ClosConfig{
 		NumToRs: 2, NumSpines: 1, LinkRate: units.Rate40G,
 		Prop: 200 * time.Nanosecond, QueueBytes: 4 * units.MB,

@@ -265,7 +265,7 @@ func runChaos(spec chaosScenario, kind testbed.OffloadKind, o Options, intensity
 		perFlow = 512 * units.KB
 	}
 
-	s := sim.New(o.Seed)
+	s := o.newSim()
 
 	// Receiver: the stack under test. The ofo_timeout is provisioned past
 	// the scenario's worst extra delay (plus queueing margin) — the §5.2.1
@@ -350,18 +350,18 @@ func runChaos(spec chaosScenario, kind testbed.OffloadKind, o Options, intensity
 	ck.CheckQuiescence()
 
 	rep := &ChaosReport{
-		Scenario:  spec.name,
-		Stack:     kind.String(),
-		Seed:      o.Seed,
-		Intensity: intensity,
-		Strict:    spec.strict,
-		Flows:     flows,
-		Completed: completed,
-		SentBytes: int64(flows) * int64(perFlow),
-		Steps:     sc.Log(),
-		Total:     ck.Total(),
+		Scenario:   spec.name,
+		Stack:      kind.String(),
+		Seed:       o.Seed,
+		Intensity:  intensity,
+		Strict:     spec.strict,
+		Flows:      flows,
+		Completed:  completed,
+		SentBytes:  int64(flows) * int64(perFlow),
+		Steps:      sc.Log(),
+		Total:      ck.Total(),
 		Violations: ck.Violations(),
-		Summary:   ck.Summary(),
+		Summary:    ck.Summary(),
 	}
 	for _, imp := range imps {
 		rep.Impairments = append(rep.Impairments, imp.Stats())

@@ -5,7 +5,6 @@ import (
 
 	"juggler/internal/core"
 	"juggler/internal/netfilter"
-	"juggler/internal/sim"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -35,7 +34,7 @@ func ablConntrack(o Options) *Table {
 }
 
 func conntrackRun(o Options, kind testbed.OffloadKind, tau time.Duration) (invFrac, invPerSec, tput float64) {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	rcvCfg := testbed.DefaultHostConfig(kind)
 	rcvCfg.Juggler = core.DefaultConfig()
 	rcvCfg.Juggler.InseqTimeout = 52 * time.Microsecond

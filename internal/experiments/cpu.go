@@ -7,7 +7,6 @@ import (
 	"juggler/internal/core"
 	"juggler/internal/fabric"
 	"juggler/internal/lb"
-	"juggler/internal/sim"
 	"juggler/internal/stats"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
@@ -33,7 +32,7 @@ type cpuScenario struct {
 func cpuRun(o Options, sc cpuScenario) (rxUtil, appUtil, tputFrac float64,
 	segsPerSec, oooFrac, acksPerSec float64) {
 
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	target := 20 * units.Gbps
 
 	var picker fabric.Picker
@@ -156,7 +155,7 @@ func latencyOverhead(o Options) *Table {
 		Columns: []string{"receiver", "median_us", "p99_us", "rpcs"},
 	}
 	for _, kind := range []testbed.OffloadKind{testbed.OffloadVanilla, testbed.OffloadJuggler} {
-		s := sim.New(o.Seed)
+		s := o.newSim()
 		tb := testbed.NewNetFPGAPair(s, units.Rate10G, 0, 0,
 			testbed.DefaultHostConfig(testbed.OffloadVanilla),
 			testbed.DefaultHostConfig(kind))

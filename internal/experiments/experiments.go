@@ -16,6 +16,9 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"juggler/internal/sim"
+	"juggler/internal/telemetry"
 )
 
 // Options control experiment scale.
@@ -25,6 +28,12 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and durations (~10x faster) for smoke runs.
 	Quick bool
+	// AttachTelemetry, when non-nil, is called on every simulation the
+	// experiment creates, before any topology is built — the hook installs
+	// a telemetry.Sink so components pick it up at construction
+	// (juggler-trace plugs in here). Sweeping experiments call it once per
+	// parameter point; exports then reflect the last point run.
+	AttachTelemetry func(s *sim.Sim)
 }
 
 // DefaultOptions is the full-fidelity configuration.
@@ -36,6 +45,28 @@ func (o Options) scale(d time.Duration) time.Duration {
 		return d / 4
 	}
 	return d
+}
+
+// newSim creates one experiment simulation seeded with o.Seed and runs the
+// AttachTelemetry hook on it.
+func (o Options) newSim() *sim.Sim {
+	s := sim.New(o.Seed)
+	if o.AttachTelemetry != nil {
+		o.AttachTelemetry(s)
+	}
+	return s
+}
+
+// telemetryNote footnotes a table with the attached sink's flight-recorder
+// summary — which metrics backed the rows, and from how many layers. No-op
+// when the run had no telemetry.
+func telemetryNote(t *Table, s *sim.Sim) {
+	k := telemetry.FromSim(s)
+	if k == nil {
+		return
+	}
+	t.Note("telemetry: %d events from %d layers (%s)",
+		k.Recorder.Total, k.Recorder.Layers(), k.Recorder.Summary())
 }
 
 // Table is one experiment's result, printable as an aligned text table.

@@ -35,7 +35,7 @@ func fig16(o Options) *Table {
 }
 
 func fig16Run(o Options, nicRate units.BitRate) (mean float64, p99, max, lossP99 int, lossPerSec float64) {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	tb := testbed.NewClosTestbed(s, fabric.ClosConfig{
 		NumToRs: 2, NumSpines: 2, LinkRate: units.Rate40G,
 		Prop: 200 * time.Nanosecond, QueueBytes: 2 * units.MB,

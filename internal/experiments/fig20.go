@@ -6,7 +6,6 @@ import (
 	"juggler/internal/core"
 	"juggler/internal/fabric"
 	"juggler/internal/lb"
-	"juggler/internal/sim"
 	"juggler/internal/stats"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
@@ -52,7 +51,7 @@ type fig20Result struct {
 }
 
 func fig20Run(o Options, loadPct int, policy string) (res fig20Result) {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 
 	var picker fabric.Picker
 	switch policy {

@@ -26,6 +26,9 @@ type netfpgaRun struct {
 	// senderCfg tunes the TCP sender.
 	senderCfg tcp.SenderConfig
 	seed      int64
+	// attach is Options.AttachTelemetry, threaded through so the bulk
+	// helper installs the sink before building the pair.
+	attach func(s *sim.Sim)
 }
 
 // results of one bulk-flow run.
@@ -45,6 +48,9 @@ type bulkResult struct {
 // the last dur.
 func runNetFPGABulk(r netfpgaRun, warm, dur time.Duration) bulkResult {
 	s := sim.New(r.seed)
+	if r.attach != nil {
+		r.attach(s)
+	}
 	sndHost := testbed.DefaultHostConfig(testbed.OffloadVanilla)
 	rcvHost := testbed.DefaultHostConfig(r.kind)
 	rcvHost.Juggler = r.jcfg
@@ -106,7 +112,7 @@ func fig12(o Options) *Table {
 			jcfg.InseqTimeout = it
 			jcfg.OfoTimeout = tau + 300*time.Microsecond // ample: isolate inseq effect
 			res := runNetFPGABulk(netfpgaRun{
-				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed,
+				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed, attach: o.AttachTelemetry,
 			}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
 			t.Add(fDurUs(tau), fDurUs(it), fF(res.batchingExtent),
 				fPct(res.rxUtil), fPct(res.appUtil), fGbps(float64(res.throughput)))
@@ -139,7 +145,7 @@ func fig13(o Options) *Table {
 			jcfg.InseqTimeout = 52 * time.Microsecond
 			jcfg.OfoTimeout = ot
 			res := runNetFPGABulk(netfpgaRun{
-				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed,
+				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed, attach: o.AttachTelemetry,
 				coalesce: coalesceTimeBound(),
 			}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
 			t.Add(fDurUs(tau), fDurUs(ot), fGbps(float64(res.throughput)),
@@ -176,7 +182,7 @@ func fig14(o Options) *Table {
 	dur := o.scale(2000 * time.Millisecond)
 	for _, tau := range taus {
 		for _, ot := range timeouts {
-			s := sim.New(o.Seed)
+			s := o.newSim()
 			jcfg := core.DefaultConfig()
 			jcfg.InseqTimeout = 52 * time.Microsecond
 			jcfg.OfoTimeout = ot
@@ -223,7 +229,7 @@ func fig15(o Options) *Table {
 	}
 	for _, tau := range taus {
 		for _, n := range flowCounts {
-			s := sim.New(o.Seed)
+			s := o.newSim()
 			jcfg := core.DefaultConfig()
 			jcfg.InseqTimeout = 52 * time.Microsecond
 			jcfg.OfoTimeout = tau + 200*time.Microsecond
@@ -286,7 +292,7 @@ func lossOfo(o Options) *Table {
 		// paper's CUBIC senders at datacenter RTTs tolerate 0.1%% loss.
 		res := runNetFPGABulk(netfpgaRun{
 			tau: 250 * time.Microsecond, jcfg: jcfg, kind: testbed.OffloadJuggler,
-			dropProb: 0.001, seed: o.Seed,
+			dropProb: 0.001, seed: o.Seed, attach: o.AttachTelemetry,
 			coalesce:  coalesceTimeBound(),
 			senderCfg: tcp.SenderConfig{RTOMin: 5 * time.Millisecond, FixedWindow: true},
 		}, o.scale(100*time.Millisecond), o.scale(400*time.Millisecond))

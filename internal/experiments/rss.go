@@ -33,7 +33,7 @@ func extRSS(o Options) *Table {
 }
 
 func rssRun(o Options, queues int) (tput, rxMax float64, activeP99 int, ooo float64) {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	rcvCfg := testbed.DefaultHostConfig(testbed.OffloadJuggler)
 	rcvCfg.Juggler = core.DefaultConfig()
 	rcvCfg.Juggler.InseqTimeout = 13 * time.Microsecond

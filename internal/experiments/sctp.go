@@ -10,7 +10,6 @@ import (
 	"juggler/internal/msgt"
 	"juggler/internal/nic"
 	"juggler/internal/packet"
-	"juggler/internal/sim"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
 )
@@ -41,7 +40,7 @@ func extSCTP(o Options) *Table {
 }
 
 func sctpRun(o Options, kind testbed.OffloadKind, tau time.Duration) (goodput, ooo float64, retrans int64, batching float64) {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	flow := packet.FiveTuple{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 9000, DstPort: 9001, Proto: 132}
 
 	cpu := cpumodel.New(s, cpumodel.DefaultCosts())

@@ -6,7 +6,6 @@ import (
 	"juggler/internal/core"
 	"juggler/internal/fabric"
 	"juggler/internal/lb"
-	"juggler/internal/sim"
 	"juggler/internal/stats"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
@@ -39,7 +38,7 @@ func extWebSearch(o Options) *Table {
 }
 
 func webSearchRun(o Options, policy string) (shortLat, longLat *stats.Sampler, completed int64) {
-	s := sim.New(o.Seed)
+	s := o.newSim()
 	var picker fabric.Picker
 	switch policy {
 	case lb.PolicyPerPacket:

@@ -33,7 +33,7 @@ func ablWorstCase(o Options) *Table {
 	bound := int(perQueue * 0.001) // the paper's 1ms arithmetic (~208)
 
 	for _, inseq := range []time.Duration{15 * time.Microsecond, 100 * time.Microsecond, time.Millisecond} {
-		s := sim.New(o.Seed)
+		s := o.newSim()
 		cfg := core.Config{
 			InseqTimeout: inseq,
 			OfoTimeout:   time.Millisecond,

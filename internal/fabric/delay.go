@@ -5,6 +5,7 @@ import (
 
 	"juggler/internal/packet"
 	"juggler/internal/sim"
+	"juggler/internal/telemetry"
 )
 
 // DelayLine is a FIFO delay element: every packet is held for Delay, and
@@ -90,6 +91,10 @@ type DropInjector struct {
 	// DroppedSeqs records the sequence numbers of recent drops (ring of
 	// 64) for diagnostics.
 	DroppedSeqs []uint32
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel    *telemetry.Sink
+	mDrops *telemetry.Counter
 }
 
 // NewDropInjector wraps dst with uniform random drops.
@@ -97,13 +102,22 @@ func NewDropInjector(s *sim.Sim, prob float64, dst Sink) *DropInjector {
 	if prob < 0 || prob > 1 {
 		panic("fabric: drop probability out of range")
 	}
-	return &DropInjector{sim: s, Prob: prob, dst: dst}
+	di := &DropInjector{sim: s, Prob: prob, dst: dst}
+	if k := telemetry.FromSim(s); k != nil {
+		di.tel = k
+		di.mDrops = k.Reg().Counter("fabric_injected_drops_total",
+			"Packets dropped by the loss injector.")
+	}
+	return di
 }
 
 // Deliver implements Sink.
 func (di *DropInjector) Deliver(p *packet.Packet) {
 	if di.Prob > 0 && di.sim.Rand().Float64() < di.Prob {
 		di.Dropped++
+		di.mDrops.Inc()
+		di.tel.Event(telemetry.Event{Layer: telemetry.LayerFabric, Kind: telemetry.KindDrop,
+			Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: "injected"})
 		if len(di.DroppedSeqs) < 64 {
 			di.DroppedSeqs = append(di.DroppedSeqs, p.Seq)
 		} else {

@@ -5,6 +5,7 @@ import (
 
 	"juggler/internal/packet"
 	"juggler/internal/sim"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -45,6 +46,12 @@ type Port struct {
 
 	// Probe, when non-nil, samples queue occupancy at each enqueue.
 	Probe *OccupancyProbe
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel             *telemetry.Sink
+	track           int32
+	queueEvents     bool
+	mTxPkts, mDrops *telemetry.Counter
 }
 
 // NewPort creates a port transmitting at rate with propagation delay prop
@@ -56,7 +63,17 @@ func NewPort(s *sim.Sim, name string, rate units.BitRate, prop time.Duration, q 
 	if dst == nil {
 		panic("fabric: port with nil destination")
 	}
-	return &Port{Name: name, sim: s, rate: rate, prop: prop, queue: q, dst: dst}
+	pt := &Port{Name: name, sim: s, rate: rate, prop: prop, queue: q, dst: dst}
+	if k := telemetry.FromSim(s); k != nil {
+		pt.tel = k
+		pt.track = k.Track(name)
+		pt.queueEvents = k.FabricQueueEvents()
+		pt.mTxPkts = k.Reg().CounterL("fabric_tx_packets_total",
+			"Packets transmitted by fabric ports.", "port", name)
+		pt.mDrops = k.Reg().CounterL("fabric_drops_total",
+			"Packets dropped at fabric ports (queue overflow or link down).", "port", name)
+	}
+	return pt
 }
 
 // Rate returns the port's link rate.
@@ -90,13 +107,23 @@ func (pt *Port) Down() bool { return pt.down }
 func (pt *Port) Send(p *packet.Packet) {
 	if pt.down {
 		pt.DroppedDown++
+		pt.mDrops.Inc()
+		pt.tel.Event(telemetry.Event{Layer: telemetry.LayerFabric, Kind: telemetry.KindDrop,
+			Track: pt.track, Flow: p.Flow, Seq: p.Seq, N: int64(p.WireLen()), Note: "link-down"})
 		return
 	}
 	if pt.Probe != nil {
 		pt.Probe.Observe(pt.queue.Bytes())
 	}
 	if !pt.queue.Enqueue(p) {
+		pt.mDrops.Inc()
+		pt.tel.Event(telemetry.Event{Layer: telemetry.LayerFabric, Kind: telemetry.KindDrop,
+			Track: pt.track, Flow: p.Flow, Seq: p.Seq, N: int64(p.WireLen()), Note: "queue-full"})
 		return
+	}
+	if pt.queueEvents {
+		pt.tel.Event(telemetry.Event{Layer: telemetry.LayerFabric, Kind: telemetry.KindEnqueue,
+			Track: pt.track, Flow: p.Flow, Seq: p.Seq, N: int64(pt.queue.Bytes())})
 	}
 	if !pt.busy {
 		pt.kick()
@@ -119,6 +146,7 @@ func (pt *Port) kick() {
 	pt.sim.Schedule(txTime, func() {
 		pt.TxPkts++
 		pt.TxBytes += int64(p.WireLen())
+		pt.mTxPkts.Inc()
 		if pt.prop > 0 {
 			pt.sim.Schedule(pt.prop, func() { pt.dst.Deliver(p) })
 		} else {

@@ -11,6 +11,7 @@ package gro
 
 import (
 	"juggler/internal/packet"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -82,6 +83,27 @@ type Vanilla struct {
 	merges  map[packet.FiveTuple]*packet.Segment
 	order   []packet.FiveTuple
 	onOrder map[packet.FiveTuple]bool
+
+	// tel is the run's telemetry sink; nil disables recording. The metric
+	// instruments are nil no-ops when telemetry is off.
+	tel                                                    *telemetry.Sink
+	mFlushControl, mFlushSealed, mFlushRestart, mFlushPoll *telemetry.Counter
+	hMergePkts                                             *telemetry.Histogram
+}
+
+// Instrument binds the instance to a telemetry sink; the testbed calls it
+// at host construction when a sink is attached. A nil sink disables
+// recording.
+func (g *Vanilla) Instrument(k *telemetry.Sink) {
+	g.tel = k
+	r := k.Reg()
+	const name = "gro_flush_total"
+	const help = "Vanilla GRO segments flushed, by cause."
+	g.mFlushControl = r.CounterL(name, help, "reason", "control")
+	g.mFlushSealed = r.CounterL(name, help, "reason", "sealed")
+	g.mFlushRestart = r.CounterL(name, help, "reason", "ooo-restart")
+	g.mFlushPoll = r.CounterL(name, help, "reason", "poll")
+	g.hMergePkts = r.Histogram("gro_merge_pkts", "Packets per flushed GRO segment.")
 }
 
 // NewVanilla creates a standard GRO instance.
@@ -97,7 +119,8 @@ func NewVanilla(d Deliver) *Vanilla {
 func (g *Vanilla) Receive(p *packet.Packet) {
 	g.c.Packets++
 	if p.PassThrough() {
-		g.flushFlow(p.Flow) // control packets end any in-progress merge
+		// Control packets end any in-progress merge.
+		g.flushFlow(p.Flow, "control", g.mFlushControl)
 		g.emit(packet.FromPacket(p))
 		return
 	}
@@ -109,14 +132,14 @@ func (g *Vanilla) Receive(p *packet.Packet) {
 	if seg.CanAppend(p, units.TSOMaxBytes) {
 		seg.Append(p)
 		if seg.Sealed() || seg.Bytes+units.MSS > units.TSOMaxBytes {
-			g.flushFlow(p.Flow)
+			g.flushFlow(p.Flow, "sealed", g.mFlushSealed)
 		}
 		return
 	}
 	// Out of sequence, incompatible, or size-limited: flush the old merge
 	// and start fresh from this packet — exactly the behaviour whose CPU
 	// cost collapses under reordering.
-	g.flushFlow(p.Flow)
+	g.flushFlow(p.Flow, "ooo-restart", g.mFlushRestart)
 	g.start(p)
 }
 
@@ -133,12 +156,17 @@ func (g *Vanilla) start(p *packet.Packet) {
 	}
 }
 
-func (g *Vanilla) flushFlow(ft packet.FiveTuple) {
+// flushFlow delivers the flow's in-progress merge, recording the flush
+// reason (note must be a constant string).
+func (g *Vanilla) flushFlow(ft packet.FiveTuple, note string, m *telemetry.Counter) {
 	seg := g.merges[ft]
 	if seg == nil {
 		return
 	}
 	delete(g.merges, ft)
+	m.Inc()
+	g.tel.Event(telemetry.Event{Layer: telemetry.LayerGRO, Kind: telemetry.KindFlush,
+		Flow: ft, Seq: seg.Seq, N: int64(seg.Pkts), Note: note})
 	g.emit(seg)
 }
 
@@ -147,6 +175,7 @@ func (g *Vanilla) emit(seg *packet.Segment) {
 	if seg.Pkts > 1 {
 		g.c.MergedPkts += int64(seg.Pkts)
 	}
+	g.hMergePkts.Observe(int64(seg.Pkts))
 	g.deliver(seg)
 }
 
@@ -154,7 +183,7 @@ func (g *Vanilla) emit(seg *packet.Segment) {
 // starts fresh from the next polling interval.
 func (g *Vanilla) PollComplete() {
 	for _, ft := range g.order {
-		g.flushFlow(ft)
+		g.flushFlow(ft, "poll", g.mFlushPoll)
 		delete(g.onOrder, ft)
 	}
 	g.order = g.order[:0]

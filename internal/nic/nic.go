@@ -11,6 +11,7 @@
 package nic
 
 import (
+	"fmt"
 	"time"
 
 	"juggler/internal/cpumodel"
@@ -19,6 +20,7 @@ import (
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -33,11 +35,30 @@ type TX struct {
 	// TSOBursts / TxPackets count emitted traffic.
 	TSOBursts int64
 	TxPackets int64
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel     *telemetry.Sink
+	track   int32
+	txIface int32
+	mTSO    *telemetry.Counter
+	mTxPkts *telemetry.Counter
 }
 
-// NewTX creates a transmit engine bound to the host egress port.
+// NewTX creates a transmit engine bound to the host egress port. When a
+// telemetry sink is attached to the simulation, outgoing packets are
+// captured on a "<port>/tx" interface and TSO bursts recorded as events.
 func NewTX(s *sim.Sim, port *fabric.Port) *TX {
-	return &TX{sim: s, port: port}
+	tx := &TX{sim: s, port: port, txIface: -1}
+	if k := telemetry.FromSim(s); k != nil {
+		tx.tel = k
+		tx.track = k.Track(port.Name)
+		tx.txIface = k.Iface(port.Name + "/tx")
+		tx.mTSO = k.Reg().CounterL("nic_tso_bursts_total",
+			"TSO super-segments handed to the NIC.", "port", port.Name)
+		tx.mTxPkts = k.Reg().CounterL("nic_tx_packets_total",
+			"Wire packets emitted by the NIC.", "port", port.Name)
+	}
+	return tx
 }
 
 // SendTSO emits one super-segment of payloadLen bytes (<= 64 KB) starting
@@ -53,6 +74,9 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 	}
 	tx.nextTSOID++
 	tx.TSOBursts++
+	tx.mTSO.Inc()
+	tx.tel.Event(telemetry.Event{Layer: telemetry.LayerNIC, Kind: telemetry.KindSend,
+		Track: tx.track, Flow: tmpl.Flow, Seq: seq, N: int64(payloadLen), Note: "tso"})
 	id := tx.nextTSOID
 	endFlags := tmpl.Flags
 	midFlags := tmpl.Flags &^ (packet.FlagPSH | packet.FlagFIN | packet.FlagURG)
@@ -73,6 +97,8 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 			p.Flags = midFlags
 		}
 		tx.TxPackets++
+		tx.mTxPkts.Inc()
+		tx.tel.CapturePacket(tx.txIface, false, &p)
 		tx.port.Send(&p)
 	}
 }
@@ -81,11 +107,18 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 func (tx *TX) SendRaw(p *packet.Packet) {
 	p.SentAt = tx.sim.Now()
 	tx.TxPackets++
+	tx.mTxPkts.Inc()
+	tx.tel.CapturePacket(tx.txIface, false, p)
 	tx.port.Send(p)
 }
 
 // RXConfig tunes the receive path.
 type RXConfig struct {
+	// Name labels this NIC in telemetry output (track and capture
+	// interface names); the testbed sets it to the host name. Empty means
+	// "nic".
+	Name string
+
 	// Queues is the number of RX queues; each owns a private offload
 	// instance (GRO or Juggler operate per receive queue).
 	Queues int
@@ -129,6 +162,11 @@ type RX struct {
 
 	// RxPackets counts packets accepted from the wire.
 	RxPackets int64
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel     *telemetry.Sink
+	rxIface int32
+	mRxPkts *telemetry.Counter
 }
 
 // rxQueue is one receive queue: ring, coalescing timer, offload instance.
@@ -149,6 +187,11 @@ type rxQueue struct {
 	// Episodes counts polling intervals (interrupt to ring-empty), which
 	// bound GRO's batching interval.
 	Episodes int64
+
+	// track is the queue's telemetry timeline; hBatch mirrors BatchSizes
+	// into the metric registry.
+	track  int32
+	hBatch *telemetry.Histogram
 }
 
 // maxPollInterval bounds one polling episode: the kernel polls "up to a
@@ -169,10 +212,25 @@ func NewRX(s *sim.Sim, cfg RXConfig, cpu *cpumodel.Model, makeOffload func(queue
 	if cpu == nil {
 		panic("nic: RX requires a CPU model")
 	}
-	rx := &RX{sim: s, cfg: cfg, cpu: cpu}
+	rx := &RX{sim: s, cfg: cfg, cpu: cpu, rxIface: -1}
+	name := cfg.Name
+	if name == "" {
+		name = "nic"
+	}
+	if k := telemetry.FromSim(s); k != nil {
+		rx.tel = k
+		rx.rxIface = k.Iface(name + "/rx")
+		rx.mRxPkts = k.Reg().CounterL("nic_rx_packets_total",
+			"Wire packets accepted from the fabric.", "nic", name)
+	}
 	for i := 0; i < cfg.Queues; i++ {
 		q := &rxQueue{rx: rx, idx: i, offload: makeOffload(i)}
-		q.coalesce = sim.NewTimer(s, q.interrupt)
+		q.coalesce = sim.NewTimer(s, func() { q.wake("timer") })
+		if rx.tel != nil {
+			q.track = rx.tel.Track(fmt.Sprintf("%s/rxq%d", name, i))
+			q.hBatch = rx.tel.Reg().HistogramL("nic_poll_batch_pkts",
+				"Packets drained per NAPI poll.", "queue", fmt.Sprintf("%s/rxq%d", name, i))
+		}
 		rx.queues = append(rx.queues, q)
 	}
 	return rx
@@ -181,6 +239,8 @@ func NewRX(s *sim.Sim, cfg RXConfig, cpu *cpumodel.Model, makeOffload func(queue
 // Deliver implements fabric.Sink: a packet arrives from the wire.
 func (rx *RX) Deliver(p *packet.Packet) {
 	rx.RxPackets++
+	rx.mRxPkts.Inc()
+	rx.tel.CapturePacket(rx.rxIface, true, p)
 	q := rx.queues[rx.pick(p)]
 	q.ring = append(q.ring, p)
 	if q.polling || q.paused {
@@ -189,7 +249,7 @@ func (rx *RX) Deliver(p *packet.Packet) {
 		return
 	}
 	if rx.cfg.CoalesceFrames > 0 && len(q.ring) >= rx.cfg.CoalesceFrames {
-		q.interrupt()
+		q.wake("frames")
 		return
 	}
 	q.coalesce.ArmIfIdle(rx.cfg.CoalesceDelay)
@@ -214,7 +274,7 @@ func (rx *RX) ResumeQueue(i int) {
 	}
 	q.paused = false
 	if len(q.ring) > 0 {
-		q.interrupt()
+		q.wake("resume")
 	}
 }
 
@@ -255,12 +315,16 @@ type RXQueueInfo struct {
 	BatchSizes *stats.Hist
 }
 
-// interrupt switches the queue into polling mode; the kernel then polls
-// until it empties the queue (or hits the 2 ms bound).
-func (q *rxQueue) interrupt() {
+// wake is the interrupt: it switches the queue into polling mode and the
+// kernel then polls until it empties the queue (or hits the 2 ms bound).
+// The cause — coalescing "timer", "frames" bound, or IRQ "resume" — is
+// recorded on the queue's telemetry track.
+func (q *rxQueue) wake(cause string) {
 	if q.polling || q.paused {
 		return
 	}
+	q.rx.tel.Event(telemetry.Event{Layer: telemetry.LayerNIC, Kind: telemetry.KindCoalesce,
+		Track: q.track, N: int64(len(q.ring)), Note: cause})
 	q.polling = true
 	q.episodeStart = q.rx.sim.Now()
 	q.coalesce.Stop()
@@ -295,6 +359,9 @@ func (q *rxQueue) poll() {
 	}
 	q.Polls++
 	q.BatchSizes.Observe(len(batch))
+	q.hBatch.Observe(int64(len(batch)))
+	q.rx.tel.Event(telemetry.Event{Layer: telemetry.LayerNIC, Kind: telemetry.KindPoll,
+		Track: q.track, N: int64(len(batch))})
 
 	before := q.offload.Counters()
 	for _, p := range batch {

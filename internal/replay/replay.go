@@ -1,0 +1,126 @@
+// Package replay parses the textual packet-trace format consumed by the
+// juggler-replay and juggler-trace commands.
+//
+// Format: one packet per line,
+//
+//	<time> <flow> <seq> <len> [flags]
+//
+// where <time> is an offset like 12us or 1.5ms, <flow> is any label,
+// <seq>/<len> are byte offsets/counts, and [flags] is an optional
+// combination of P (PSH), F (FIN), A (pure ACK, len ignored). Blank lines
+// and lines starting with '#' are skipped.
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"juggler/internal/packet"
+)
+
+// TimedPacket is one parsed trace line.
+type TimedPacket struct {
+	At  time.Duration
+	Pkt packet.Packet
+}
+
+// Trace is a parsed packet trace plus the label<->tuple mapping used to
+// render flow names back the way the input spelled them.
+type Trace struct {
+	Packets []TimedPacket
+
+	ids   map[string]packet.FiveTuple
+	names map[packet.FiveTuple]string
+}
+
+// Parse reads the trace format described in the package comment.
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{
+		ids:   map[string]packet.FiveTuple{},
+		names: map[packet.FiveTuple]string{},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("line %d: want <time> <flow> <seq> <len> [flags]", lineNo)
+		}
+		at, err := time.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad time %q: %v", lineNo, fields[0], err)
+		}
+		seq, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad seq %q", lineNo, fields[2])
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("line %d: bad len %q", lineNo, fields[3])
+		}
+		p := packet.Packet{
+			Flow: t.flowFor(fields[1]), Seq: uint32(seq), PayloadLen: n,
+			Flags: packet.FlagACK,
+		}
+		if len(fields) > 4 {
+			for _, c := range fields[4] {
+				switch c {
+				case 'P':
+					p.Flags |= packet.FlagPSH
+				case 'F':
+					p.Flags |= packet.FlagFIN
+				case 'A':
+					p.PayloadLen = 0
+				default:
+					return nil, fmt.Errorf("line %d: unknown flag %q", lineNo, c)
+				}
+			}
+		}
+		t.Packets = append(t.Packets, TimedPacket{At: at, Pkt: p})
+	}
+	return t, sc.Err()
+}
+
+// flowFor maps a label to a synthetic five-tuple, deterministically in
+// first-appearance order.
+func (t *Trace) flowFor(label string) packet.FiveTuple {
+	if ft, ok := t.ids[label]; ok {
+		return ft
+	}
+	ft := packet.FiveTuple{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: uint16(20000 + len(t.ids)), DstPort: 5001,
+		Proto: packet.ProtoTCP,
+	}
+	t.ids[label] = ft
+	t.names[ft] = label
+	return ft
+}
+
+// FlowName renders a tuple back as the input's label when known.
+func (t *Trace) FlowName(ft packet.FiveTuple) string {
+	if n, ok := t.names[ft]; ok {
+		return n
+	}
+	return ft.String()
+}
+
+// Last returns the arrival time of the latest packet.
+func (t *Trace) Last() time.Duration {
+	var last time.Duration
+	for _, tp := range t.Packets {
+		if tp.At > last {
+			last = tp.At
+		}
+	}
+	return last
+}

@@ -1,0 +1,74 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"juggler/internal/packet"
+)
+
+func TestParseBasic(t *testing.T) {
+	tr, err := Parse(strings.NewReader(`
+# comment and blank lines are skipped
+
+0us   a  4380 1460
+1.5us b  0    100   P
+2us   a  0    0     A
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := tr.Packets
+	if len(pkts) != 3 {
+		t.Fatalf("parsed %d packets", len(pkts))
+	}
+	if pkts[0].Pkt.Seq != 4380 || pkts[0].Pkt.PayloadLen != 1460 {
+		t.Fatalf("first packet = %+v", pkts[0].Pkt)
+	}
+	if pkts[0].Pkt.Flow == pkts[1].Pkt.Flow {
+		t.Fatal("labels a and b must map to distinct flows")
+	}
+	if pkts[0].Pkt.Flow != pkts[2].Pkt.Flow {
+		t.Fatal("repeated label a must map to the same flow")
+	}
+	if !pkts[1].Pkt.Flags.Has(packet.FlagPSH) {
+		t.Fatal("P flag should set PSH")
+	}
+	if pkts[2].Pkt.PayloadLen != 0 {
+		t.Fatal("A flag should zero the payload")
+	}
+	if pkts[1].At != 1500 {
+		t.Fatalf("time parse = %v", pkts[1].At)
+	}
+	if tr.Last() != 2000 {
+		t.Fatalf("last = %v", tr.Last())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"0us a 1",         // too few fields
+		"xyz a 1 1",       // bad time
+		"0us a notanum 1", // bad seq
+		"0us a 1 notanum", // bad len
+		"0us a 1 1 Z",     // unknown flag
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("line %q should fail to parse", bad)
+		}
+	}
+}
+
+func TestFlowNameRoundTrip(t *testing.T) {
+	tr, err := Parse(strings.NewReader("0us roundtrip 0 100\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.FlowName(tr.Packets[0].Pkt.Flow); got != "roundtrip" {
+		t.Fatalf("name = %q", got)
+	}
+	unknown := packet.FiveTuple{SrcIP: 1, DstIP: 2}
+	if tr.FlowName(unknown) == "" {
+		t.Fatal("unknown flows should fall back to the tuple string")
+	}
+}

@@ -104,6 +104,13 @@ type Sim struct {
 	// MaxEvents aborts Run with a panic when non-zero and exceeded. Tests
 	// set it to catch accidental event storms.
 	MaxEvents uint64
+
+	// Telemetry is the per-run telemetry sink slot. The harness attaches a
+	// *telemetry.Sink here (via telemetry.Attach) before constructing the
+	// topology; components read it once at construction time with
+	// telemetry.FromSim. The field is typed any so the sim engine does not
+	// depend on the telemetry package (which depends on sim for Time).
+	Telemetry any
 }
 
 // New creates a simulator whose random source is seeded with seed.

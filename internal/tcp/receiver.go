@@ -5,6 +5,7 @@ import (
 
 	"juggler/internal/packet"
 	"juggler/internal/sim"
+	"juggler/internal/telemetry"
 )
 
 // ReceiverStats are cumulative receive-side counters; they supply the
@@ -46,12 +47,24 @@ type Receiver struct {
 	pendingAck    int
 
 	Stats ReceiverStats
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel                       *telemetry.Sink
+	mSegs, mOOOSegs, mAcksOut *telemetry.Counter
 }
 
 // NewReceiver creates a receiver for the data-direction flow; ACKs are
 // emitted through sendAck on the reverse tuple.
 func NewReceiver(s *sim.Sim, flow packet.FiveTuple, sendAck func(p *packet.Packet)) *Receiver {
-	return &Receiver{sim: s, flow: flow, irs: 1, rcvNxt: 1, sendAck: sendAck}
+	r := &Receiver{sim: s, flow: flow, irs: 1, rcvNxt: 1, sendAck: sendAck}
+	if k := telemetry.FromSim(s); k != nil {
+		r.tel = k
+		reg := k.Reg()
+		r.mSegs = reg.Counter("tcp_segments_in_total", "Segments reaching TCP receivers.")
+		r.mOOOSegs = reg.Counter("tcp_ooo_segments_total", "Segments reaching TCP out of cumulative order.")
+		r.mAcksOut = reg.Counter("tcp_acks_sent_total", "Acknowledgments emitted by receivers.")
+	}
+	return r
 }
 
 // Flow returns the data-direction tuple this receiver consumes.
@@ -83,6 +96,7 @@ func (r *Receiver) Delivered() int64 { return int64(r.rcvNxt - r.irs) }
 // OnSegment consumes one segment from the stack.
 func (r *Receiver) OnSegment(seg *packet.Segment) {
 	r.Stats.SegmentsIn++
+	r.mSegs.Inc()
 	progressed := false
 	ooo := false
 	dup := true
@@ -99,6 +113,9 @@ func (r *Receiver) OnSegment(seg *packet.Segment) {
 	}
 	if ooo && !progressed {
 		r.Stats.OOOSegments++
+		r.mOOOSegs.Inc()
+		r.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindOOO,
+			Flow: r.flow, Seq: seg.Seq, N: int64(seg.Bytes)})
 		seg.OOO = true
 	}
 	if dup && seg.Bytes > 0 {
@@ -224,6 +241,7 @@ func (r *Receiver) coalesceAt(i int) {
 // ack emits one cumulative acknowledgment; ce echoes congestion marks.
 func (r *Receiver) ack(ce bool) {
 	r.Stats.AcksSent++
+	r.mAcksOut.Inc()
 	p := &packet.Packet{
 		Flow:   r.flow.Reverse(),
 		Flags:  packet.FlagACK,
@@ -235,6 +253,10 @@ func (r *Receiver) ack(ce bool) {
 	if len(r.ooo) > 0 {
 		p.SACKStart = r.ooo[0].Seq
 		p.SACKEnd = r.ooo[0].Seq + uint32(r.ooo[0].Len)
+		// ACKs carrying SACK evidence are the loss signals the sender's
+		// recovery heuristics run on — worth a timeline event each.
+		r.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindAck,
+			Flow: r.flow, Seq: r.rcvNxt, N: int64(p.SACKEnd - p.SACKStart), Note: "sack"})
 	}
 	r.sendAck(p)
 }

@@ -16,6 +16,7 @@ import (
 
 	"juggler/internal/packet"
 	"juggler/internal/sim"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -141,6 +142,11 @@ type Sender struct {
 	OnAckedBytes func(n int)
 
 	Stats SenderStats
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel                           *telemetry.Sink
+	mFastRetrans, mTimeouts, mTLP *telemetry.Counter
+	mRetransPkts, mECN            *telemetry.Counter
 }
 
 // NewSender creates a sender for flow, transmitting through out.
@@ -176,6 +182,15 @@ func NewSender(s *sim.Sim, cfg SenderConfig, flow packet.FiveTuple, out PacketSe
 	snd.rto = sim.NewTimer(s, snd.onRTO)
 	snd.pace = sim.NewTimer(s, snd.MaybeSend)
 	snd.tlp = sim.NewTimer(s, snd.onTLP)
+	if k := telemetry.FromSim(s); k != nil {
+		snd.tel = k
+		r := k.Reg()
+		snd.mFastRetrans = r.Counter("tcp_fast_retransmits_total", "Fast-retransmit recoveries entered.")
+		snd.mTimeouts = r.Counter("tcp_timeouts_total", "Retransmission timeouts fired.")
+		snd.mTLP = r.Counter("tcp_tlp_probes_total", "Tail-loss probes sent.")
+		snd.mRetransPkts = r.Counter("tcp_retrans_packets_total", "Packets retransmitted.")
+		snd.mECN = r.Counter("tcp_ecn_reductions_total", "DCTCP window reductions.")
+	}
 	return snd
 }
 
@@ -305,6 +320,9 @@ func (s *Sender) sendBurst(seq uint32, n int, psh, retrans bool) {
 	s.Stats.TSOBursts++
 	if retrans {
 		s.Stats.RetransPackets += int64((n + units.MSS - 1) / units.MSS)
+		s.mRetransPkts.Add(int64((n + units.MSS - 1) / units.MSS))
+		s.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindRetransmit,
+			Flow: s.flow, Seq: seq, N: int64(n)})
 	}
 	s.out.SendTSO(tmpl, seq, n)
 }
@@ -340,6 +358,8 @@ func (s *Sender) OnAck(seg *packet.Segment) {
 				s.inRecov = false
 				s.cwnd = s.ssthresh
 				s.clampCwnd()
+				s.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindCwnd,
+					Flow: s.flow, Seq: ack, N: int64(s.cwnd), Note: "recovery-exit"})
 			} else {
 				// Partial ACK (NewReno): retransmit the next hole.
 				s.retransmitHead()
@@ -399,11 +419,14 @@ func (s *Sender) OnAck(seg *packet.Segment) {
 		if !s.inRecov && (s.dupacks >= thresh || fack) {
 			// Fast retransmit + fast recovery.
 			s.Stats.FastRetransmits++
+			s.mFastRetrans.Inc()
 			s.inRecov = true
 			s.recover = s.sndNxt
 			s.ssthresh = s.halfFlight()
 			s.cwnd = s.ssthresh + float64(s.cfg.DupAckThresh*units.MSS)
 			s.clampCwnd()
+			s.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindCwnd,
+				Flow: s.flow, Seq: s.sndUna, N: int64(s.cwnd), Note: "fast-recovery"})
 			s.retransmitHead()
 		} else if s.inRecov {
 			s.cwnd += float64(units.MSS) // window inflation
@@ -457,10 +480,13 @@ func (s *Sender) onRTO() {
 		return
 	}
 	s.Stats.Timeouts++
+	s.mTimeouts.Inc()
 	s.tlp.Stop()
 	s.ssthresh = s.halfFlight()
 	s.cwnd = float64(units.MSS)
 	s.clampCwnd()
+	s.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindTimeout,
+		Flow: s.flow, Seq: s.sndUna, N: int64(s.cwnd), Note: "rto"})
 	s.inRecov = true
 	s.recover = s.sndNxt
 	s.dupacks = 0
@@ -494,6 +520,7 @@ func (s *Sender) onTLP() {
 	}
 	s.tlpSpent = true
 	s.Stats.TLPProbes++
+	s.mTLP.Inc()
 	n := int(s.sndNxt - s.sndUna)
 	if n > units.MSS {
 		n = units.MSS
@@ -530,9 +557,12 @@ func (s *Sender) dctcpUpdate(acked int, ece bool, ack uint32) {
 		s.dctcpAlpha = (1-g)*s.dctcpAlpha + g*frac
 		if s.windowMarked > 0 {
 			s.Stats.ECNReductions++
+			s.mECN.Inc()
 			s.cwnd *= 1 - s.dctcpAlpha/2
 			s.ssthresh = s.cwnd
 			s.clampCwnd()
+			s.tel.Event(telemetry.Event{Layer: telemetry.LayerTCP, Kind: telemetry.KindCwnd,
+				Flow: s.flow, Seq: ack, N: int64(s.cwnd), Note: "ecn"})
 		}
 	}
 	s.windowAcked, s.windowMarked = 0, 0

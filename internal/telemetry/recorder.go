@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Recorder is the bounded flight recorder: a ring of the most recent
+// events, plus per-layer offered counts so coverage checks (how many layers
+// actually emitted?) survive ring rotation.
+type Recorder struct {
+	events []Event
+	next   int
+	full   bool
+
+	// Total counts events offered, including those rotated out.
+	Total int64
+
+	// ByLayer counts offered events per layer, unaffected by capacity.
+	ByLayer [numLayers]int64
+	// ByKind counts offered events per kind, unaffected by capacity.
+	ByKind [numKinds]int64
+}
+
+func newRecorder(cap int) *Recorder {
+	return &Recorder{events: make([]Event, cap)}
+}
+
+func (r *Recorder) add(e Event) {
+	r.Total++
+	r.ByLayer[e.Layer]++
+	r.ByKind[e.Kind]++
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.full {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Events returns retained events oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Layers returns how many distinct layers have offered at least one event.
+func (r *Recorder) Layers() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range r.ByLayer {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump writes a readable timeline of the retained events.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintf(w, "%12v  %-6s %-10s  %v seq=%d n=%d %s\n",
+			e.At, e.Layer, e.Kind, e.Flow, e.Seq, e.N, e.Note)
+	}
+}
+
+// Summary aggregates retained events by kind, in kind order ("flush=12
+// buffer=3 ..."), matching the format of the old trace.Ring summary.
+func (r *Recorder) Summary() string {
+	var counts [numKinds]int
+	if r != nil {
+		for _, e := range r.Events() {
+			counts[e.Kind]++
+		}
+	}
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if c := counts[k]; c > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no events)"
+	}
+	return strings.Join(parts, " ")
+}

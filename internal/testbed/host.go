@@ -18,6 +18,7 @@ import (
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/tcp"
+	"juggler/internal/telemetry"
 	"juggler/internal/units"
 )
 
@@ -124,6 +125,11 @@ type Host struct {
 	UnmatchedSegs int64
 
 	nextPort uint16
+
+	// tel is the run's telemetry sink; nil disables recording.
+	tel                  *telemetry.Sink
+	mSegs, mBacklogDrops *telemetry.Counter
+	mConntrackDrops      *telemetry.Counter
 }
 
 // NewHost builds the receive side of a host. The transmit side is attached
@@ -154,7 +160,20 @@ func NewHost(s *sim.Sim, name string, cfg HostConfig) *Host {
 	if cfg.Conntrack != nil {
 		h.CT = netfilter.New(*cfg.Conntrack)
 	}
-	h.RX = nic.NewRX(s, cfg.RX, h.CPU, h.makeOffload)
+	if k := telemetry.FromSim(s); k != nil {
+		h.tel = k
+		r := k.Reg()
+		h.mSegs = r.CounterL("host_segments_total",
+			"Segments leaving the offload layer at each host.", "host", name)
+		h.mBacklogDrops = r.CounterL("host_backlog_drops_total",
+			"Segments lost to app-core backlog overflow.", "host", name)
+		h.mConntrackDrops = r.CounterL("host_conntrack_drops_total",
+			"Segments dropped by strict conntrack.", "host", name)
+	}
+	if h.cfg.RX.Name == "" {
+		h.cfg.RX.Name = name
+	}
+	h.RX = nic.NewRX(s, h.cfg.RX, h.CPU, h.makeOffload)
 	return h
 }
 
@@ -162,7 +181,11 @@ func NewHost(s *sim.Sim, name string, cfg HostConfig) *Host {
 func (h *Host) makeOffload(queue int) gro.Offload {
 	switch h.cfg.Offload {
 	case OffloadVanilla:
-		return gro.NewVanilla(h.onSegment)
+		g := gro.NewVanilla(h.onSegment)
+		if h.tel != nil {
+			g.Instrument(h.tel)
+		}
+		return g
 	case OffloadJuggler:
 		j := core.New(h.sim, h.cfg.Juggler, h.onSegment)
 		h.Jugglers = append(h.Jugglers, j)
@@ -197,8 +220,12 @@ func (h *Host) onSegment(seg *packet.Segment) {
 	if h.SegmentTap != nil {
 		h.SegmentTap(seg)
 	}
+	h.mSegs.Inc()
 	if h.CT != nil {
 		if v := h.CT.Inspect(seg); h.CT.ShouldDrop(v) {
+			h.mConntrackDrops.Inc()
+			h.tel.Event(telemetry.Event{Layer: telemetry.LayerHost, Kind: telemetry.KindDrop,
+				Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Bytes), Note: "conntrack"})
 			return
 		}
 	}
@@ -211,6 +238,9 @@ func (h *Host) onSegment(seg *packet.Segment) {
 	}
 	if !h.CPU.App.Submit(cost, func() { h.dispatch(seg) }) {
 		h.DroppedSegs++ // socket backlog overflow
+		h.mBacklogDrops.Inc()
+		h.tel.Event(telemetry.Event{Layer: telemetry.LayerHost, Kind: telemetry.KindDrop,
+			Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Bytes), Note: "app-backlog"})
 	}
 }
 

@@ -2,15 +2,14 @@ package juggler
 
 import (
 	"io"
-	"strings"
 	"time"
 
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
 	"juggler/internal/tcp"
+	"juggler/internal/telemetry"
 	"juggler/internal/testbed"
-	"juggler/internal/trace"
 	"juggler/internal/units"
 	"juggler/internal/workload"
 )
@@ -36,6 +35,11 @@ type ReorderPairConfig struct {
 	Tuning Tuning
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Telemetry attaches a full telemetry sink (metrics, flight recorder,
+	// packet capture) before the topology is built, so every layer is
+	// instrumented. Exports are read back with WriteTrace / WritePcap /
+	// WriteMetrics.
+	Telemetry bool
 }
 
 // ReorderPair is a running two-host simulation.
@@ -59,6 +63,9 @@ func NewReorderPair(cfg ReorderPairConfig) *ReorderPair {
 		cfg.Tuning = DefaultTuning(cfg.Rate)
 	}
 	s := sim.New(cfg.Seed)
+	if cfg.Telemetry {
+		telemetry.New(s, telemetry.Options{})
+	}
 	rcvCfg := testbed.DefaultHostConfig(cfg.Receiver.kind())
 	rcvCfg.Juggler = cfg.Tuning.coreConfig()
 	tb := testbed.NewNetFPGAPair(s, units.BitRate(cfg.Rate), cfg.ReorderDelay,
@@ -181,25 +188,45 @@ func (f *Flow) OOOFraction() float64 {
 // Retransmits returns the sender's retransmitted packet count.
 func (f *Flow) Retransmits() int64 { return f.snd.Stats.RetransPackets }
 
-// EnableTrace attaches a bounded event recorder (last n events) to the
-// receiver's Juggler instances. No-op for other stacks.
+// EnableTrace attaches a bounded telemetry flight recorder (last n events)
+// to the run and rebinds the receiver's Juggler instances to it, so core
+// events are recorded even when full telemetry was not requested at
+// construction. No-op for stacks without Juggler instances.
 func (p *ReorderPair) EnableTrace(n int) {
+	k := telemetry.FromSim(p.s)
+	if k == nil {
+		k = telemetry.New(p.s, telemetry.Options{EventCap: n})
+	}
 	for _, j := range p.tb.Receiver.Jugglers {
-		j.Trace = trace.New(p.s, n)
+		j.Instrument(k)
 	}
 }
 
-// DumpTrace writes the recorded Juggler event timeline to w and returns a
-// per-kind summary line.
+// DumpTrace writes the recorded event timeline to w and returns a per-kind
+// summary line.
 func (p *ReorderPair) DumpTrace(w io.Writer) string {
-	var sums []string
-	for _, j := range p.tb.Receiver.Jugglers {
-		if j.Trace != nil {
-			j.Trace.Dump(w)
-			sums = append(sums, j.Trace.Summary())
-		}
+	k := telemetry.FromSim(p.s)
+	if k == nil {
+		return "(no events)"
 	}
-	return strings.Join(sums, " | ")
+	k.Recorder.Dump(w)
+	return k.Recorder.Summary()
+}
+
+// WriteTrace writes the run's flight recorder as Perfetto/Chrome
+// trace-event JSON. No-op unless telemetry is enabled.
+func (p *ReorderPair) WriteTrace(w io.Writer) error {
+	return telemetry.FromSim(p.s).WriteTrace(w)
+}
+
+// WritePcap writes the run's packet capture as a pcapng file.
+func (p *ReorderPair) WritePcap(w io.Writer) error {
+	return telemetry.FromSim(p.s).WritePcap(w)
+}
+
+// WriteMetrics writes the run's metric snapshot in Prometheus text format.
+func (p *ReorderPair) WriteMetrics(w io.Writer) error {
+	return telemetry.FromSim(p.s).Reg().WriteProm(w)
 }
 
 // ReceiverStats summarizes the receiving host.
