@@ -25,7 +25,9 @@ import (
 )
 
 // benchExperiment runs one experiment per iteration, printing its table on
-// the first.
+// the first. The print happens with the timer stopped: table rendering and
+// stdout I/O are not part of the experiment's cost, and on multi-iteration
+// runs they would otherwise skew the first sample.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	quick := os.Getenv("JUGGLER_BENCH_FULL") == ""
@@ -35,7 +37,9 @@ func benchExperiment(b *testing.B, id string) {
 			b.Fatalf("unknown experiment %q", id)
 		}
 		if i == 0 {
+			b.StopTimer()
 			t.Fprint(os.Stdout)
+			b.StartTimer()
 		}
 	}
 }

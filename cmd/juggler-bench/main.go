@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	juggler-bench [-quick] [-seed N] [-list] [experiment ...]
+//	juggler-bench [-quick] [-seed N] [-j N] [-list] [experiment ...]
 //
 // With no experiment arguments, every registered experiment runs in a
 // deterministic order. -quick shrinks sweeps and durations roughly 10x for
-// a fast smoke pass.
+// a fast smoke pass. -j N runs each experiment's parameter sweep on N
+// worker goroutines (0 = one per core); tables are byte-identical to the
+// serial (-j 1) run at any width.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"juggler"
+	"juggler/internal/sweep"
 )
 
 // writeCSV stores one experiment's table under dir.
@@ -36,6 +39,7 @@ func writeCSV(dir string, rep *juggler.Report) error {
 func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce bit-identical tables)")
+	workers := flag.Int("j", 1, "sweep worker goroutines per experiment (0 = one per core); output is identical at any width")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 	flag.Parse()
@@ -59,7 +63,9 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		rep := juggler.RunExperiment(id, *seed, *quick)
+		rep := juggler.RunExperimentCfg(id, juggler.RunConfig{
+			Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers),
+		})
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "juggler-bench: unknown experiment %q (try -list)\n", id)
 			os.Exit(2)

@@ -1,0 +1,63 @@
+// Command juggler-benchrec records the repo's performance baseline into a
+// JSON artifact: hot-path micro-benchmark numbers (ns/op, allocs/op for
+// the event engine and the packet pool), raw event-loop throughput, and
+// the wall-clock of one experiment sweep run serially vs on -j workers —
+// re-checking on the way that both produce byte-identical tables.
+//
+// Usage:
+//
+//	juggler-benchrec [-o BENCH_03.json] [-sweep fig13] [-quick] [-j 0]
+//
+// The committed BENCH_NN.json at the repo root is this command's output;
+// CI regenerates it on every run and uploads it as an artifact. Numbers
+// are host-dependent — the record embeds core count and GOMAXPROCS so the
+// sweep speedup can be read in context (a single-core host cannot show
+// one).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"juggler/internal/benchrec"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_03.json", "output path ('-' = stdout)")
+	sweepID := flag.String("sweep", "fig13", "experiment to time serial vs parallel")
+	quick := flag.Bool("quick", false, "time the quick (~10x smaller) sweep instead of full fidelity")
+	workers := flag.Int("j", 0, "parallel width for the sweep timing (0 = one per core)")
+	flag.Parse()
+
+	rep, err := benchrec.Collect(*sweepID, *quick, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-benchrec:", err)
+		os.Exit(1)
+	}
+	if !rep.Sweep.Identical {
+		fmt.Fprintf(os.Stderr, "juggler-benchrec: %s table differs between serial and -j %d runs\n",
+			rep.Sweep.Experiment, rep.Sweep.Workers)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "juggler-benchrec:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-benchrec:", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %s (sweep %s: %.2fs serial, %.2fs with -j %d, %.2fx, identical tables)\n",
+			*out, rep.Sweep.Experiment, rep.Sweep.SerialSeconds,
+			rep.Sweep.ParallelSeconds, rep.Sweep.Workers, rep.Sweep.Speedup)
+	}
+}

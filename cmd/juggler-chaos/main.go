@@ -12,16 +12,23 @@
 //	juggler-chaos                      # full sweep against Juggler
 //	juggler-chaos -scenario reorder -stack vanilla   # expected to FAIL
 //	juggler-chaos -seed 7 -intensity 2 -quick
+//	juggler-chaos -j 0                 # scenarios in parallel, one worker per core
 //	juggler-chaos -list
+//
+// -j N runs the scenarios on N worker goroutines (0 = one per core); each
+// scenario is an independent simulation, and reports are printed in
+// scenario order, so the output is byte-identical to the serial run.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"juggler/internal/experiments"
+	"juggler/internal/sweep"
 	"juggler/internal/testbed"
 )
 
@@ -38,6 +45,7 @@ func run() error {
 	stack := flag.String("stack", "juggler", "receive offload under test: juggler, vanilla, linkedlist, none")
 	intensity := flag.Float64("intensity", 1, "fault-level multiplier over each scenario's default")
 	quick := flag.Bool("quick", false, "shrink transfer sizes (~4x faster)")
+	workers := flag.Int("j", 1, "scenario worker goroutines (0 = one per core); output is identical at any width")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	flag.Parse()
 
@@ -60,15 +68,33 @@ func run() error {
 		names = strings.Split(*scenario, ",")
 	}
 
+	// Each scenario is an independent simulation, so they fan out across
+	// workers; rendering into per-scenario buffers and printing by index
+	// keeps the output byte-identical to the serial run.
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	failed := 0
-	for _, name := range names {
-		rep, err := experiments.RunChaosScenario(strings.TrimSpace(name), kind, opts, *intensity)
+	type result struct {
+		out bytes.Buffer
+		bad bool
+		err error
+	}
+	results := sweep.Map(sweep.Workers(*workers), len(names), func(i int) *result {
+		r := &result{}
+		rep, err := experiments.RunChaosScenario(strings.TrimSpace(names[i]), kind, opts, *intensity)
 		if err != nil {
-			return err
+			r.err = err
+			return r
 		}
-		rep.Fprint(os.Stdout)
-		if rep.Failed() || rep.Completed < rep.Flows {
+		rep.Fprint(&r.out)
+		r.bad = rep.Failed() || rep.Completed < rep.Flows
+		return r
+	})
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		os.Stdout.Write(r.out.Bytes())
+		if r.bad {
 			failed++
 		}
 	}

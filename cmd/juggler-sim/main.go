@@ -1,11 +1,17 @@
-// Command juggler-sim runs one ad-hoc simulation on the two-host
-// reordering apparatus and prints throughput, CPU, batching, and flow-table
+// Command juggler-sim runs ad-hoc simulations on the two-host reordering
+// apparatus and prints throughput, CPU, batching, and flow-table
 // statistics — a quick way to explore how a stack behaves under a given
 // amount of reordering.
 //
 // Usage:
 //
 //	juggler-sim [flags]
+//
+// -reorder accepts a comma-separated list of delays; each value is an
+// independent simulation (a sweep point), and -j N runs the points on N
+// worker goroutines (0 = one per core). Reports are rendered per point
+// and printed in list order, so the output is byte-identical to the
+// serial (-j 1) run at any width.
 //
 // Examples:
 //
@@ -17,15 +23,22 @@
 //
 //	# 64 concurrent flows with 0.1% loss
 //	juggler-sim -flows 64 -reorder 250us -drop 0.001
+//
+//	# a tau sweep, one worker per core
+//	juggler-sim -reorder 0,100us,250us,500us,750us -j 0
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"juggler"
+	"juggler/internal/sweep"
 )
 
 func main() {
@@ -35,13 +48,28 @@ func main() {
 	}
 }
 
-// run executes the simulation and returns an error when it failed to move
-// data — so scripted callers (CI smoke tests) see a non-zero exit instead
-// of a plausible-looking report over a dead transfer.
+// pointConfig is everything one sweep point needs, shared read-only across
+// workers.
+type pointConfig struct {
+	kind     juggler.Stack
+	rate     juggler.Rate
+	tun      juggler.Tuning
+	drop     float64
+	flows    int
+	dur      time.Duration
+	seed     int64
+	traceN   int
+	maxFlows int
+}
+
+// run executes the simulation sweep and returns an error when any point
+// failed to move data — so scripted callers (CI smoke tests) see a
+// non-zero exit instead of a plausible-looking report over a dead
+// transfer.
 func run() error {
 	stack := flag.String("stack", "juggler", "receiver stack: juggler | vanilla | linkedlist | none")
 	rateG := flag.Int("rate", 10, "link rate in Gb/s")
-	reorder := flag.Duration("reorder", 500*time.Microsecond, "reordering delay tau (0 = in order)")
+	reorder := flag.String("reorder", "500us", "reordering delay tau, or a comma-separated sweep (0 = in order)")
 	drop := flag.Float64("drop", 0, "receiver-side drop probability")
 	inseq := flag.Duration("inseq", 0, "Juggler inseq_timeout (0 = rate default)")
 	ofo := flag.Duration("ofo", 0, "Juggler ofo_timeout (0 = 50us default)")
@@ -49,7 +77,8 @@ func run() error {
 	flows := flag.Int("flows", 1, "number of concurrent bulk flows")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration (after 50ms warm-up)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	traceN := flag.Int("trace", 0, "dump the last N Juggler events after the run (0 = off)")
+	traceN := flag.Int("trace", 0, "dump the last N Juggler events after each point (0 = off)")
+	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); output is identical at any width")
 	flag.Parse()
 
 	var kind juggler.Stack
@@ -66,6 +95,11 @@ func run() error {
 		return fmt.Errorf("unknown stack %q", *stack)
 	}
 
+	taus, err := parseReorder(*reorder)
+	if err != nil {
+		return err
+	}
+
 	rate := juggler.Rate(*rateG) * juggler.Gbps
 	tun := juggler.DefaultTuning(rate)
 	if *inseq > 0 {
@@ -76,17 +110,52 @@ func run() error {
 	}
 	tun.MaxFlows = *maxFlows
 
-	p := juggler.NewReorderPair(juggler.ReorderPairConfig{
-		Rate: rate, ReorderDelay: *reorder, DropProb: *drop,
-		Receiver: kind, Tuning: tun, Seed: *seed,
-	})
-	if *traceN > 0 {
-		p.EnableTrace(*traceN)
+	cfg := pointConfig{kind: kind, rate: rate, tun: tun, drop: *drop,
+		flows: *flows, dur: *dur, seed: *seed, traceN: *traceN,
+		maxFlows: *maxFlows}
+
+	// Each tau is an independent simulation; render each report into its
+	// own buffer and print them in list order so -j N output matches -j 1.
+	type result struct {
+		out  bytes.Buffer
+		dead bool
 	}
-	fs := make([]*juggler.Flow, *flows)
+	results := sweep.Map(sweep.Workers(*workers), len(taus), func(i int) *result {
+		r := &result{}
+		r.dead = !runPoint(&r.out, cfg, taus[i])
+		return r
+	})
+	dead := 0
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		os.Stdout.Write(r.out.Bytes())
+		if r.dead {
+			dead++
+		}
+	}
+	if dead > 0 {
+		return fmt.Errorf("%d of %d points delivered no bytes over the %v measurement window",
+			dead, len(taus), *dur)
+	}
+	return nil
+}
+
+// runPoint simulates one reordering delay and writes its report to w. It
+// reports whether any bytes were delivered during the measurement window.
+func runPoint(w io.Writer, cfg pointConfig, tau time.Duration) bool {
+	p := juggler.NewReorderPair(juggler.ReorderPairConfig{
+		Rate: cfg.rate, ReorderDelay: tau, DropProb: cfg.drop,
+		Receiver: cfg.kind, Tuning: cfg.tun, Seed: cfg.seed,
+	})
+	if cfg.traceN > 0 {
+		p.EnableTrace(cfg.traceN)
+	}
+	fs := make([]*juggler.Flow, cfg.flows)
 	var pace juggler.Rate
-	if *flows > 1 {
-		pace = rate / juggler.Rate(*flows)
+	if cfg.flows > 1 {
+		pace = cfg.rate / juggler.Rate(cfg.flows)
 	}
 	for i := range fs {
 		fs[i] = p.AddBulkFlow(pace)
@@ -96,7 +165,7 @@ func run() error {
 	for _, f := range fs {
 		f.Throughput() // reset windows
 	}
-	p.Run(*dur)
+	p.Run(cfg.dur)
 
 	var total juggler.Rate
 	for _, f := range fs {
@@ -104,30 +173,55 @@ func run() error {
 	}
 	st := p.ReceiverStats()
 
-	fmt.Printf("stack            %s\n", kind)
-	fmt.Printf("reordering       %v (drop %.3g%%)\n", *reorder, *drop*100)
-	fmt.Printf("throughput       %v of %v\n", total, rate)
-	fmt.Printf("batching         %.1f MTUs/segment\n", st.BatchingMTUs)
-	fmt.Printf("rx core          %.1f%%\n", st.RXCoreUtil*100)
-	fmt.Printf("app core         %.1f%%\n", st.AppCoreUtil*100)
+	fmt.Fprintf(w, "stack            %s\n", cfg.kind)
+	fmt.Fprintf(w, "reordering       %v (drop %.3g%%)\n", tau, cfg.drop*100)
+	fmt.Fprintf(w, "throughput       %v of %v\n", total, cfg.rate)
+	fmt.Fprintf(w, "batching         %.1f MTUs/segment\n", st.BatchingMTUs)
+	fmt.Fprintf(w, "rx core          %.1f%%\n", st.RXCoreUtil*100)
+	fmt.Fprintf(w, "app core         %.1f%%\n", st.AppCoreUtil*100)
 	ooo := 0.0
 	if st.SegmentsIn > 0 {
 		ooo = float64(st.OOOSegments) / float64(st.SegmentsIn) * 100
 	}
-	fmt.Printf("tcp segments     %d (%.1f%% out of order)\n", st.SegmentsIn, ooo)
-	fmt.Printf("acks sent        %d\n", st.AcksSent)
-	if kind == juggler.StackJuggler {
-		fmt.Printf("active flows     %d (table bound %d)\n", st.ActiveFlows, tun.MaxFlows)
+	fmt.Fprintf(w, "tcp segments     %d (%.1f%% out of order)\n", st.SegmentsIn, ooo)
+	fmt.Fprintf(w, "acks sent        %d\n", st.AcksSent)
+	if cfg.kind == juggler.StackJuggler {
+		fmt.Fprintf(w, "active flows     %d (table bound %d)\n", st.ActiveFlows, cfg.maxFlows)
 	}
 	if st.DroppedSegments > 0 {
-		fmt.Printf("backlog drops    %d\n", st.DroppedSegments)
+		fmt.Fprintf(w, "backlog drops    %d\n", st.DroppedSegments)
 	}
-	if *traceN > 0 {
-		fmt.Println("\n-- juggler event trace (most recent) --")
-		fmt.Println(p.DumpTrace(os.Stdout))
+	if cfg.traceN > 0 {
+		fmt.Fprintln(w, "\n-- juggler event trace (most recent) --")
+		fmt.Fprintln(w, p.DumpTrace(w))
 	}
-	if total <= 0 {
-		return fmt.Errorf("no bytes delivered over the %v measurement window", *dur)
+	return total > 0
+}
+
+// parseReorder parses the -reorder flag: one duration, or a comma-separated
+// sweep list.
+func parseReorder(s string) ([]time.Duration, error) {
+	var taus []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "0" { // bare zero, as in -reorder 0,100us
+			taus = append(taus, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -reorder value %q: %v", part, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("-reorder value %v is negative", d)
+		}
+		taus = append(taus, d)
 	}
-	return nil
+	if len(taus) == 0 {
+		return nil, fmt.Errorf("-reorder lists no delays")
+	}
+	return taus, nil
 }

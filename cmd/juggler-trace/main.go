@@ -13,10 +13,13 @@
 //	              [-trace out.json] [-pcap out.pcapng] [-metrics out.prom]
 //	juggler-trace -replay trace.txt [-trace out.json] ...
 //
-// Sweeping experiments attach a fresh sink per parameter point; the
-// exported artifacts describe the last point run (the table itself covers
-// the sweep). A per-layer event summary is printed so smoke tests can
-// assert coverage.
+// Sweeping experiments attach the sink only to the designated traced
+// point — the last one — so the exported artifacts describe the last
+// point run (the table itself covers the sweep). That also makes -j N
+// safe: the other points run telemetry-free on N worker goroutines
+// (0 = one per core) and the table and exports stay byte-identical to
+// the serial run. A per-layer event summary is printed so smoke tests
+// can assert coverage.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"juggler/internal/packet"
 	"juggler/internal/replay"
 	"juggler/internal/sim"
+	"juggler/internal/sweep"
 	"juggler/internal/telemetry"
 )
 
@@ -39,6 +43,7 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a textual packet trace instead of an experiment")
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical exports)")
+	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); table and exports are identical at any width")
 	traceOut := flag.String("trace", "trace.json", "write Perfetto/Chrome trace-event JSON here ('' disables)")
 	pcapOut := flag.String("pcap", "", "write a pcapng packet capture here")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
@@ -60,7 +65,7 @@ func main() {
 	if *replayPath != "" {
 		sink = runReplay(*replayPath, *seed, opts)
 	} else {
-		o := experiments.Options{Seed: *seed, Quick: *quick}
+		o := experiments.Options{Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers)}
 		o.AttachTelemetry = func(s *sim.Sim) { sink = telemetry.New(s, opts) }
 		t := experiments.Run(*exp, o)
 		if t == nil {

@@ -8,6 +8,10 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"juggler/internal/experiments"
+	"juggler/internal/sim"
+	"juggler/internal/telemetry"
 )
 
 // TestNoStrayRandomness enforces the repo's bit-reproducibility contract:
@@ -107,5 +111,63 @@ func TestTelemetryExportsDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(m1, m2) {
 		t.Errorf("metrics snapshot differs between identically-seeded runs (%d vs %d bytes)", len(m1), len(m2))
+	}
+}
+
+// TestParallelSweepDeterministic is the internal/sweep contract checked end
+// to end: running a sweeping experiment on 8 workers must produce the same
+// bytes as the serial run — the rendered table AND the telemetry artifacts
+// exported from the designated traced point. fig6 is the probe because it
+// both sweeps (so points really interleave under -j) and attaches the
+// telemetry sink. Two seeds guard against a coincidentally stable schedule.
+func TestParallelSweepDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		run := func(workers int) (table, trace, pcap, prom []byte) {
+			t.Helper()
+			var sink *telemetry.Sink
+			o := experiments.Options{Seed: seed, Quick: true, Workers: workers}
+			o.AttachTelemetry = func(s *sim.Sim) {
+				sink = telemetry.New(s, telemetry.Options{EventCap: 1 << 14})
+			}
+			tbl := experiments.Run("fig6", o)
+			if tbl == nil {
+				t.Fatalf("experiment fig6 not registered")
+			}
+			var tb bytes.Buffer
+			tbl.Fprint(&tb)
+			if sink == nil {
+				t.Fatalf("no telemetry sink attached (workers=%d)", workers)
+			}
+			var tr, pc, mb bytes.Buffer
+			if err := sink.WriteTrace(&tr); err != nil {
+				t.Fatalf("WriteTrace: %v", err)
+			}
+			if err := sink.WritePcap(&pc); err != nil {
+				t.Fatalf("WritePcap: %v", err)
+			}
+			if err := sink.Metrics.WriteProm(&mb); err != nil {
+				t.Fatalf("WriteProm: %v", err)
+			}
+			return tb.Bytes(), tr.Bytes(), pc.Bytes(), mb.Bytes()
+		}
+
+		st, str, spc, spm := run(1)
+		pt, ptr, ppc, ppm := run(8)
+		if len(st) == 0 || len(str) == 0 || len(spc) == 0 || len(spm) == 0 {
+			t.Fatalf("seed %d: empty serial output: table=%d trace=%d pcap=%d metrics=%d bytes",
+				seed, len(st), len(str), len(spc), len(spm))
+		}
+		if !bytes.Equal(st, pt) {
+			t.Errorf("seed %d: table differs between -j 1 and -j 8:\n--- serial ---\n%s--- parallel ---\n%s", seed, st, pt)
+		}
+		if !bytes.Equal(str, ptr) {
+			t.Errorf("seed %d: trace-event JSON differs between -j 1 and -j 8 (%d vs %d bytes)", seed, len(str), len(ptr))
+		}
+		if !bytes.Equal(spc, ppc) {
+			t.Errorf("seed %d: pcapng capture differs between -j 1 and -j 8 (%d vs %d bytes)", seed, len(spc), len(ppc))
+		}
+		if !bytes.Equal(spm, ppm) {
+			t.Errorf("seed %d: metrics snapshot differs between -j 1 and -j 8 (%d vs %d bytes)", seed, len(spm), len(ppm))
+		}
 	}
 }

@@ -46,14 +46,35 @@ func Experiments() []string { return experiments.IDs() }
 // DescribeExperiment returns an experiment's one-line description.
 func DescribeExperiment(id string) string { return experiments.Describe(id) }
 
+// RunConfig tunes an experiment run beyond the defaults.
+type RunConfig struct {
+	// Seed drives all randomness; 0 means 1. Identical seeds reproduce
+	// bit-identical reports at any worker count.
+	Seed int64
+	// Quick shrinks sweeps and durations ~10x for smoke runs.
+	Quick bool
+	// Workers is the sweep fan-out width: parameter points of a sweeping
+	// experiment run on this many goroutines (0 or 1 = serial). The report
+	// is byte-identical to the serial run at any width.
+	Workers int
+}
+
 // RunExperiment regenerates one table/figure of the paper's evaluation.
 // quick shrinks sweeps and durations ~10x for smoke runs. It returns nil
 // for unknown IDs.
 func RunExperiment(id string, seed int64, quick bool) *Report {
-	if seed == 0 {
-		seed = 1
+	return RunExperimentCfg(id, RunConfig{Seed: seed, Quick: quick})
+}
+
+// RunExperimentCfg is RunExperiment with the full configuration surface
+// (notably Workers for parallel sweeps). It returns nil for unknown IDs.
+func RunExperimentCfg(id string, cfg RunConfig) *Report {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
-	t := experiments.Run(id, experiments.Options{Seed: seed, Quick: quick})
+	t := experiments.Run(id, experiments.Options{
+		Seed: cfg.Seed, Quick: cfg.Quick, Workers: cfg.Workers,
+	})
 	if t == nil {
 		return nil
 	}

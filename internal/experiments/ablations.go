@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"juggler/internal/core"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -19,25 +20,28 @@ func ablLinkedList(o Options) *Table {
 		Title:   "Merge representation CPU cost, in-order 10G line rate (§3.1)",
 		Columns: []string{"offload", "rx_core%", "app_core%", "total%", "tput_Gbps", "vs_vanilla"},
 	}
-	var base float64
-	for _, kind := range []testbed.OffloadKind{
+	kinds := []testbed.OffloadKind{
 		testbed.OffloadVanilla, testbed.OffloadLinkedList,
 		testbed.OffloadJuggler, testbed.OffloadNone,
-	} {
+	}
+	// The vs_vanilla column divides by the vanilla row's total, so rows are
+	// assembled after the whole sweep returns.
+	results := sweep.Map(o.Workers, len(kinds), func(i int) bulkResult {
+		po := o.point(i, len(kinds))
 		jcfg := core.DefaultConfig()
 		jcfg.InseqTimeout = 52 * time.Microsecond
-		res := runNetFPGABulk(netfpgaRun{
-			tau: 0, jcfg: jcfg, kind: kind, seed: o.Seed, attach: o.AttachTelemetry,
-		}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
+		return runNetFPGABulk(netfpgaRun{
+			tau: 0, jcfg: jcfg, kind: kinds[i], seed: po.Seed, attach: po.AttachTelemetry,
+		}, po.scale(40*time.Millisecond), po.scale(120*time.Millisecond))
+	})
+	base := results[0].rxUtil + results[0].appUtil
+	for i, res := range results {
 		total := res.rxUtil + res.appUtil
-		if kind == testbed.OffloadVanilla {
-			base = total
-		}
 		rel := "1.00x"
 		if base > 0 {
 			rel = fF(total/base) + "x"
 		}
-		t.Add(kind.String(), fPct(res.rxUtil), fPct(res.appUtil), fPct(total),
+		t.Add(kinds[i].String(), fPct(res.rxUtil), fPct(res.appUtil), fPct(total),
 			fGbps(float64(res.throughput)), rel)
 	}
 	t.Note("paper: linked-list batching costs ~50%% more CPU than frags merging on in-order traffic; offload disabled is far worse still")
@@ -55,24 +59,25 @@ func ablBuildUp(o Options) *Table {
 		Title:   "Build-up phase seq_next learning (Remark 1, §4.2.2)",
 		Columns: []string{"buildup_learning", "segments_per_MB", "ooo_frac", "tput_Gbps"},
 	}
-	var segsPerMB [2]float64
-	for i, disable := range []bool{false, true} {
+	modes := []bool{false, true}
+	results := sweep.Map(o.Workers, len(modes), func(i int) manyFlowsResult {
 		jcfg := core.DefaultConfig()
 		jcfg.InseqTimeout = 52 * time.Microsecond
 		jcfg.OfoTimeout = 700 * time.Microsecond
 		jcfg.MaxFlows = 8 // small table forces eviction churn
-		jcfg.DisableBuildUpLearning = disable
-		res := runManyFlows(o, jcfg, 32, 500*time.Microsecond)
-		segsPerMB[i] = res.segsPerMB
+		jcfg.DisableBuildUpLearning = modes[i]
+		return runManyFlows(o.point(i, len(modes)), jcfg, 32, 500*time.Microsecond)
+	})
+	for i, res := range results {
 		label := "on"
-		if disable {
+		if modes[i] {
 			label = "off (ablation)"
 		}
 		t.Add(label, fF(res.segsPerMB), fF(res.oooFrac), fGbps(res.tput))
 	}
-	if segsPerMB[1] > 0 {
+	if results[1].segsPerMB > 0 {
 		t.Note("learning on sends %.1f%% fewer segments up the stack (paper: ~6%%)",
-			(1-segsPerMB[0]/segsPerMB[1])*100)
+			(1-results[0].segsPerMB/results[1].segsPerMB)*100)
 	}
 	return t
 }
@@ -150,21 +155,32 @@ func ablEviction(o Options) *Table {
 	if o.Quick {
 		sizes = []int{4, 64}
 	}
+	type point struct {
+		policy core.EvictionPolicy
+		size   int
+	}
+	var pts []point
 	for _, policy := range []core.EvictionPolicy{core.EvictInactiveFirst, core.EvictFIFO} {
+		for _, size := range sizes {
+			pts = append(pts, point{policy, size})
+		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p := pts[i]
 		name := "inactive-first"
-		if policy == core.EvictFIFO {
+		if p.policy == core.EvictFIFO {
 			name = "fifo (ablation)"
 		}
-		for _, size := range sizes {
-			jcfg := core.DefaultConfig()
-			jcfg.InseqTimeout = 52 * time.Microsecond
-			jcfg.OfoTimeout = 700 * time.Microsecond
-			jcfg.MaxFlows = size
-			jcfg.Eviction = policy
-			res := runManyFlows(o, jcfg, 32, 500*time.Microsecond)
-			t.Add(name, fI(int64(size)), fGbps(res.tput), fF(res.oooFrac),
-				fI(res.ofoTO), fI(res.evictions))
-		}
+		jcfg := core.DefaultConfig()
+		jcfg.InseqTimeout = 52 * time.Microsecond
+		jcfg.OfoTimeout = 700 * time.Microsecond
+		jcfg.MaxFlows = p.size
+		jcfg.Eviction = p.policy
+		res := runManyFlows(o.point(i, len(pts)), jcfg, 32, 500*time.Microsecond)
+		return []string{name, fI(int64(p.size)), fGbps(res.tput), fF(res.oooFrac),
+			fI(res.ofoTO), fI(res.evictions)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: evicting flows with holes (active/loss-recovery) is counter-productive — they stall on re-entry until ofo_timeout; phase-aware eviction keeps small tables viable")
 	return t

@@ -9,6 +9,7 @@ import (
 	"juggler/internal/fabric"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -79,9 +80,11 @@ func fig1(o Options) *Table {
 	bin := o.scale(20 * time.Millisecond)
 	before := o.scale(200 * time.Millisecond)
 	after := o.scale(400 * time.Millisecond)
-	for _, kind := range []testbed.OffloadKind{testbed.OffloadJuggler, testbed.OffloadVanilla} {
-		g := newGuaranteeSetup(o, kind)
-		g.s.RunFor(o.scale(300 * time.Millisecond)) // converge to fair share
+	kinds := []testbed.OffloadKind{testbed.OffloadJuggler, testbed.OffloadVanilla}
+	for _, rows := range sweep.Map(o.Workers, len(kinds), func(pi int) [][]string {
+		kind, po := kinds[pi], o.point(pi, len(kinds))
+		g := newGuaranteeSetup(po, kind)
+		g.s.RunFor(po.scale(300 * time.Millisecond)) // converge to fair share
 		ts := stats.NewTimeSeries(bin)
 		start := time.Duration(g.s.Now())
 		last := g.rcv.Delivered()
@@ -96,9 +99,15 @@ func fig1(o Options) *Table {
 		g.s.RunFor(after)
 		tick.Stop()
 
+		var rows [][]string
 		for i, rate := range ts.Rates() {
 			tMs := (time.Duration(i)*bin + bin/2 - before).Milliseconds()
-			t.Add(kind.String(), fmt.Sprintf("%d", tMs), fGbps(rate))
+			rows = append(rows, []string{kind.String(), fmt.Sprintf("%d", tMs), fGbps(rate)})
+		}
+		return rows
+	}) {
+		for _, row := range rows {
+			t.Add(row...)
 		}
 	}
 	t.Note("paper: before t=0 each flow averages ~5G; after t=0 the Juggler kernel tracks the 20G guarantee while the vanilla kernel is widely variable and below it")
@@ -120,24 +129,43 @@ func fig18(o Options) *Table {
 	warm := o.scale(300 * time.Millisecond)
 	settle := o.scale(300 * time.Millisecond)
 	dur := o.scale(200 * time.Millisecond)
+	// One sweep point per (guarantee, kind) cell; each table row interleaves
+	// the juggler and vanilla cells of one guarantee, so rows are assembled
+	// after the sweep returns.
+	kinds := []testbed.OffloadKind{testbed.OffloadJuggler, testbed.OffloadVanilla}
+	type point struct {
+		b    units.BitRate
+		kind testbed.OffloadKind
+	}
+	var pts []point
 	for _, b := range guarantees {
+		for _, kind := range kinds {
+			pts = append(pts, point{b, kind})
+		}
+	}
+	cells := sweep.Map(o.Workers, len(pts), func(i int) [2]string {
+		p, po := pts[i], o.point(i, len(pts))
+		g := newGuaranteeSetup(po, p.kind)
+		g.s.RunFor(warm)
+		g.guarantee(p.b)
+		g.s.RunFor(settle)
+		// Sample the achieved rate in 20ms windows for mean and std.
+		var w stats.Welford
+		last := g.rcv.Delivered()
+		win := 20 * time.Millisecond
+		for el := time.Duration(0); el < dur; el += win {
+			g.s.RunFor(win)
+			cur := g.rcv.Delivered()
+			w.Add(float64(units.Throughput(cur-last, win)))
+			last = cur
+		}
+		return [2]string{fGbps(w.Mean()), fGbps(w.Std())}
+	})
+	for gi, b := range guarantees {
 		row := []string{fGbps(float64(b))}
-		for _, kind := range []testbed.OffloadKind{testbed.OffloadJuggler, testbed.OffloadVanilla} {
-			g := newGuaranteeSetup(o, kind)
-			g.s.RunFor(warm)
-			g.guarantee(b)
-			g.s.RunFor(settle)
-			// Sample the achieved rate in 20ms windows for mean and std.
-			var w stats.Welford
-			last := g.rcv.Delivered()
-			win := 20 * time.Millisecond
-			for el := time.Duration(0); el < dur; el += win {
-				g.s.RunFor(win)
-				cur := g.rcv.Delivered()
-				w.Add(float64(units.Throughput(cur-last, win)))
-				last = cur
-			}
-			row = append(row, fGbps(w.Mean()), fGbps(w.Std()))
+		for ki := range kinds {
+			cell := cells[gi*len(kinds)+ki]
+			row = append(row, cell[0], cell[1])
 		}
 		t.Add(row...)
 	}

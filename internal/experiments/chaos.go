@@ -10,6 +10,7 @@ import (
 	"juggler/internal/fabric"
 	"juggler/internal/packet"
 	"juggler/internal/sim"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -391,13 +392,23 @@ func chaosSweep(o Options) *Table {
 			fF(float64(rep.Delivered)/float64(units.MB)),
 			fI(rep.Total), verdict)
 	}
+	type point struct {
+		spec chaosScenario
+		kind testbed.OffloadKind
+	}
+	pts := make([]point, 0, len(chaosCatalog)+1)
 	for _, spec := range chaosCatalog {
-		row(runChaos(spec, testbed.OffloadJuggler, o, 1))
+		pts = append(pts, point{spec, testbed.OffloadJuggler})
 	}
 	for i := range chaosCatalog {
 		if chaosCatalog[i].name == "reorder" {
-			row(runChaos(chaosCatalog[i], testbed.OffloadVanilla, o, 1))
+			pts = append(pts, point{chaosCatalog[i], testbed.OffloadVanilla})
 		}
+	}
+	for _, rep := range sweep.Map(o.Workers, len(pts), func(i int) *ChaosReport {
+		return runChaos(pts[i].spec, pts[i].kind, o.point(i, len(pts)), 1)
+	}) {
+		row(rep)
 	}
 	t.Note("juggler rows must be violation-free; the vanilla+reorder row must trip the order invariant (vanilla GRO makes no in-order promise under reordering — the paper's premise)")
 	return t

@@ -5,6 +5,7 @@ import (
 
 	"juggler/internal/core"
 	"juggler/internal/netfilter"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -23,11 +24,22 @@ func ablConntrack(o Options) *Table {
 		Columns: []string{"stack", "reorder_us", "invalid_frac", "invalid_per_s",
 			"tput_Gbps"},
 	}
+	type point struct {
+		kind testbed.OffloadKind
+		tau  time.Duration
+	}
+	var pts []point
 	for _, kind := range []testbed.OffloadKind{testbed.OffloadVanilla, testbed.OffloadJuggler} {
 		for _, tau := range []time.Duration{0, 500 * time.Microsecond} {
-			invFrac, invPerSec, tput := conntrackRun(o, kind, tau)
-			t.Add(kind.String(), fDurUs(tau), fF(invFrac), fF(invPerSec), fGbps(tput))
+			pts = append(pts, point{kind, tau})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p := pts[i]
+		invFrac, invPerSec, tput := conntrackRun(o.point(i, len(pts)), p.kind, p.tau)
+		return []string{p.kind.String(), fDurUs(p.tau), fF(invFrac), fF(invPerSec), fGbps(tput)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("with strict filtering these INVALID segments would be dropped; encapsulating reordering inside GRO keeps downstream modules correct (§3.1)")
 	return t

@@ -8,6 +8,7 @@ import (
 	"juggler/internal/fabric"
 	"juggler/internal/lb"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -123,10 +124,13 @@ func cpuTable(o Options, id, title string, flows, senders int) *Table {
 		{"vanilla/reorder (per-packet)", testbed.OffloadVanilla, lb.PolicyPerPacket, flows, senders},
 		{"juggler/reorder (per-packet)", testbed.OffloadJuggler, lb.PolicyPerPacket, flows, senders},
 	}
-	for _, sc := range scenarios {
-		rx, app, tput, segs, ooo, acks := cpuRun(o, sc)
-		t.Add(sc.label, fPct(rx), fPct(app), fPct(tput),
-			fmt.Sprintf("%.0f", segs), fF(ooo), fmt.Sprintf("%.0f", acks))
+	for _, row := range sweep.Map(o.Workers, len(scenarios), func(i int) []string {
+		sc := scenarios[i]
+		rx, app, tput, segs, ooo, acks := cpuRun(o.point(i, len(scenarios)), sc)
+		return []string{sc.label, fPct(rx), fPct(app), fPct(tput),
+			fmt.Sprintf("%.0f", segs), fF(ooo), fmt.Sprintf("%.0f", acks)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: vanilla+reorder saturates the app core and loses ~35%% throughput while seeing ~15x more segments (~40%% OOO) and ~15x more ACKs; juggler+reorder holds the 20G target within ~10%% extra CPU of vanilla without reordering")
 	return t
@@ -154,8 +158,10 @@ func latencyOverhead(o Options) *Table {
 		Title:   "150B RPC latency, no competing traffic (§5.1.2)",
 		Columns: []string{"receiver", "median_us", "p99_us", "rpcs"},
 	}
-	for _, kind := range []testbed.OffloadKind{testbed.OffloadVanilla, testbed.OffloadJuggler} {
-		s := o.newSim()
+	kinds := []testbed.OffloadKind{testbed.OffloadVanilla, testbed.OffloadJuggler}
+	for _, row := range sweep.Map(o.Workers, len(kinds), func(pi int) []string {
+		kind, po := kinds[pi], o.point(pi, len(kinds))
+		s := po.newSim()
 		tb := testbed.NewNetFPGAPair(s, units.Rate10G, 0, 0,
 			testbed.DefaultHostConfig(testbed.OffloadVanilla),
 			testbed.DefaultHostConfig(kind))
@@ -163,7 +169,7 @@ func latencyOverhead(o Options) *Table {
 		lat := stats.NewSampler(4096)
 		stream := workload.NewRPCStream(s, snd, rcv, lat)
 		n := 2000
-		if o.Quick {
+		if po.Quick {
 			n = 500
 		}
 		for i := 0; i < n; i++ {
@@ -171,7 +177,9 @@ func latencyOverhead(o Options) *Table {
 			s.Schedule(time.Duration(i)*300*time.Microsecond, func() { stream.Send(150) })
 		}
 		s.RunFor(time.Duration(n)*300*time.Microsecond + 50*time.Millisecond)
-		t.Add(kind.String(), fUs(lat.Median()), fUs(lat.P99()), fI(stream.Completed))
+		return []string{kind.String(), fUs(lat.Median()), fUs(lat.P99()), fI(stream.Completed)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: medians identical with and without Juggler (Juggler is exactly GRO on in-order traffic); the absolute floor here is the 125us interrupt-coalescing delay")
 	return t

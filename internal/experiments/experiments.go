@@ -28,12 +28,19 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps and durations (~10x faster) for smoke runs.
 	Quick bool
-	// AttachTelemetry, when non-nil, is called on every simulation the
+	// AttachTelemetry, when non-nil, is called on the simulation(s) the
 	// experiment creates, before any topology is built — the hook installs
 	// a telemetry.Sink so components pick it up at construction
-	// (juggler-trace plugs in here). Sweeping experiments call it once per
-	// parameter point; exports then reflect the last point run.
+	// (juggler-trace plugs in here). Sweeping experiments run it on exactly
+	// one designated traced point — the last one — so exports reflect the
+	// last point whether the sweep ran serially or on -j workers.
 	AttachTelemetry func(s *sim.Sim)
+
+	// Workers is the sweep fan-out width (the CLIs' -j flag): sweeping
+	// experiments run their parameter points on min(Workers, points)
+	// goroutines via sweep.Map. 0 or 1 means serial. Results are committed
+	// by point index, so tables are byte-identical at any width.
+	Workers int
 }
 
 // DefaultOptions is the full-fidelity configuration.
@@ -55,6 +62,18 @@ func (o Options) newSim() *sim.Sim {
 		o.AttachTelemetry(s)
 	}
 	return s
+}
+
+// point derives the Options for parameter point i of an n-point sweep:
+// identical to o except AttachTelemetry survives only on the designated
+// traced point — the last one. That keeps the single-sink contract
+// ("exports reflect the last point run") and makes the hook safe to call
+// from sweep.Map workers, since exactly one point ever invokes it.
+func (o Options) point(i, n int) Options {
+	if i != n-1 {
+		o.AttachTelemetry = nil
+	}
+	return o
 }
 
 // telemetryNote footnotes a table with the attached sink's flight-recorder

@@ -8,6 +8,7 @@ import (
 	"juggler/internal/lb"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -25,10 +26,13 @@ func fig16(o Options) *Table {
 		Columns: []string{"nic", "active_mean", "active_p99", "active_max",
 			"loss_list_p99", "loss_entries_per_s"},
 	}
-	for _, nicRate := range []units.BitRate{units.Rate40G, units.Rate10G} {
-		mean, p99, max, lossP99, lossPerSec := fig16Run(o, nicRate)
-		t.Add(nicRate.String(), fF(mean), fI(int64(p99)), fI(int64(max)),
-			fI(int64(lossP99)), fF(lossPerSec))
+	rates := []units.BitRate{units.Rate40G, units.Rate10G}
+	for _, row := range sweep.Map(o.Workers, len(rates), func(i int) []string {
+		mean, p99, max, lossP99, lossPerSec := fig16Run(o.point(i, len(rates)), rates[i])
+		return []string{rates[i].String(), fF(mean), fI(int64(p99)), fI(int64(max)),
+			fI(int64(lossP99)), fF(lossPerSec)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper 40G: mean < 1, p99 < 5; 10G: p99 < 6 with a near-empty loss-recovery list (~4 entries/s)")
 	return t

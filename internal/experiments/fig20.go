@@ -7,6 +7,7 @@ import (
 	"juggler/internal/fabric"
 	"juggler/internal/lb"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -32,12 +33,23 @@ func fig20(o Options) *Table {
 		loads = []int{50, 90}
 	}
 	policies := []string{lb.PolicyECMP, lb.PolicyPerTSO, lb.PolicyPerPacket}
+	type point struct {
+		load   int
+		policy string
+	}
+	var pts []point
 	for _, load := range loads {
 		for _, policy := range policies {
-			r := fig20Run(o, load, policy)
-			t.Add(fI(int64(load)), policy, fMs(r.largeP99), fMs(r.largeP50),
-				fUs(r.smallP99), fUs(r.smallP50), fPct(r.shed), fI(int64(r.maxQ/1024)))
+			pts = append(pts, point{load, policy})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p := pts[i]
+		r := fig20Run(o.point(i, len(pts)), p.load, p.policy)
+		return []string{fI(int64(p.load)), p.policy, fMs(r.largeP99), fMs(r.largeP50),
+			fUs(r.smallP99), fUs(r.smallP50), fPct(r.shed), fI(int64(r.maxQ / 1024))}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: per-packet gives >=2x better small-RPC p99 than ECMP past 50%% load, and beats per-TSO by 30us at 75%% / 250us at 90%%; buffer buildup at the ToRs follows the same order")
 	return t

@@ -5,6 +5,7 @@ import (
 
 	"juggler/internal/core"
 	"juggler/internal/sim"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -29,10 +30,13 @@ func fig6(o Options) *Table {
 	if o.Quick {
 		taus = []time.Duration{0, 250 * time.Microsecond, 750 * time.Microsecond}
 	}
-	var lastSim *sim.Sim
-	for _, tau := range taus {
-		s := o.newSim()
-		lastSim = s
+	type result struct {
+		row []string
+		s   *sim.Sim // for the telemetry footnote on the traced (last) point
+	}
+	results := sweep.Map(o.Workers, len(taus), func(pi int) result {
+		tau, po := taus[pi], o.point(pi, len(taus))
+		s := po.newSim()
 		jcfg := core.DefaultConfig()
 		jcfg.InseqTimeout = 52 * time.Microsecond
 		jcfg.OfoTimeout = tau + 200*time.Microsecond
@@ -61,9 +65,9 @@ func fig6(o Options) *Table {
 		vsnd.SetInfinite()
 		vsnd.MaybeSend()
 
-		s.RunFor(o.scale(40 * time.Millisecond)) // warm-up: exit slow start
+		s.RunFor(po.scale(40 * time.Millisecond)) // warm-up: exit slow start
 		base, vbase := rcv.Delivered(), vrcv.Delivered()
-		dur := o.scale(80 * time.Millisecond)
+		dur := po.scale(80 * time.Millisecond)
 		s.RunFor(dur)
 
 		var st core.Stats
@@ -76,14 +80,17 @@ func fig6(o Options) *Table {
 			st.Duplicates += js.Duplicates
 			st.LossRecoveryEntered += js.LossRecoveryEntered
 		}
-		t.Add(fDurUs(tau), fI(st.FlushEvent), fI(st.FlushInseqTimeout),
+		return result{row: []string{fDurUs(tau), fI(st.FlushEvent), fI(st.FlushInseqTimeout),
 			fI(st.FlushOfoTimeout), fI(st.Retransmissions), fI(st.Duplicates),
 			fI(st.LossRecoveryEntered),
 			fGbps(float64(units.Throughput(rcv.Delivered()-base, dur))),
-			fGbps(float64(units.Throughput(vrcv.Delivered()-vbase, dur))))
+			fGbps(float64(units.Throughput(vrcv.Delivered()-vbase, dur)))}, s: s}
+	})
+	for _, r := range results {
+		t.Add(r.row...)
 	}
 	t.Note("paper: event-driven flushes dominate at low reordering; timeouts take over as tau approaches the ofo budget, while vanilla GRO collapses")
-	telemetryNote(t, lastSim)
+	telemetryNote(t, results[len(results)-1].s)
 	return t
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"juggler/internal/lb"
+	"juggler/internal/sweep"
 )
 
 // extFlowlet is an extension beyond the paper's evaluation: CONGA-style
@@ -18,10 +19,13 @@ func extFlowlet(o Options) *Table {
 		Columns: []string{"policy", "large_p99_ms", "large_p50_ms",
 			"small_p99_us", "small_p50_us", "shed_pct", "max_uplink_q_KB"},
 	}
-	for _, policy := range []string{lb.PolicyECMP, lb.PolicyFlowlet, lb.PolicyPerTSO, lb.PolicyPerPacket} {
-		r := fig20Run(o, 75, policy)
-		t.Add(policy, fMs(r.largeP99), fMs(r.largeP50), fUs(r.smallP99), fUs(r.smallP50),
-			fPct(r.shed), fI(int64(r.maxQ/1024)))
+	policies := []string{lb.PolicyECMP, lb.PolicyFlowlet, lb.PolicyPerTSO, lb.PolicyPerPacket}
+	for _, row := range sweep.Map(o.Workers, len(policies), func(i int) []string {
+		r := fig20Run(o.point(i, len(policies)), 75, policies[i])
+		return []string{policies[i], fMs(r.largeP99), fMs(r.largeP50), fUs(r.smallP99), fUs(r.smallP50),
+			fPct(r.shed), fI(int64(r.maxQ / 1024))}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("flowlets need no reordering resilience but balance at burst granularity; per-packet + Juggler remains the finest-grained option")
 	return t

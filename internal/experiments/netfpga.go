@@ -7,6 +7,7 @@ import (
 	"juggler/internal/nic"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -106,17 +107,25 @@ func fig12(o Options) *Table {
 	if o.Quick {
 		timeouts = []time.Duration{0, 20 * time.Microsecond, 52 * time.Microsecond, 100 * time.Microsecond}
 	}
+	type point struct{ tau, it time.Duration }
+	var pts []point
 	for _, tau := range taus {
 		for _, it := range timeouts {
-			jcfg := core.DefaultConfig()
-			jcfg.InseqTimeout = it
-			jcfg.OfoTimeout = tau + 300*time.Microsecond // ample: isolate inseq effect
-			res := runNetFPGABulk(netfpgaRun{
-				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed, attach: o.AttachTelemetry,
-			}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
-			t.Add(fDurUs(tau), fDurUs(it), fF(res.batchingExtent),
-				fPct(res.rxUtil), fPct(res.appUtil), fGbps(float64(res.throughput)))
+			pts = append(pts, point{tau, it})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p, po := pts[i], o.point(i, len(pts))
+		jcfg := core.DefaultConfig()
+		jcfg.InseqTimeout = p.it
+		jcfg.OfoTimeout = p.tau + 300*time.Microsecond // ample: isolate inseq effect
+		res := runNetFPGABulk(netfpgaRun{
+			tau: p.tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: po.Seed, attach: po.AttachTelemetry,
+		}, po.scale(40*time.Millisecond), po.scale(120*time.Millisecond))
+		return []string{fDurUs(p.tau), fDurUs(p.it), fF(res.batchingExtent),
+			fPct(res.rxUtil), fPct(res.appUtil), fGbps(float64(res.throughput))}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: batching ~25 MTUs at timeout 0 (per-poll batching), rising to the max (~45) by ~52us at 10G; more timeout beyond that buys nothing")
 	return t
@@ -139,18 +148,26 @@ func fig13(o Options) *Table {
 	if o.Quick {
 		timeouts = []time.Duration{0, 100 * time.Microsecond, 400 * time.Microsecond, 800 * time.Microsecond}
 	}
+	type point struct{ tau, ot time.Duration }
+	var pts []point
 	for _, tau := range taus {
 		for _, ot := range timeouts {
-			jcfg := core.DefaultConfig()
-			jcfg.InseqTimeout = 52 * time.Microsecond
-			jcfg.OfoTimeout = ot
-			res := runNetFPGABulk(netfpgaRun{
-				tau: tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: o.Seed, attach: o.AttachTelemetry,
-				coalesce: coalesceTimeBound(),
-			}, o.scale(40*time.Millisecond), o.scale(120*time.Millisecond))
-			t.Add(fDurUs(tau), fDurUs(ot), fGbps(float64(res.throughput)),
-				fF(res.oooFrac), fI(res.retransmits))
+			pts = append(pts, point{tau, ot})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p, po := pts[i], o.point(i, len(pts))
+		jcfg := core.DefaultConfig()
+		jcfg.InseqTimeout = 52 * time.Microsecond
+		jcfg.OfoTimeout = p.ot
+		res := runNetFPGABulk(netfpgaRun{
+			tau: p.tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: po.Seed, attach: po.AttachTelemetry,
+			coalesce: coalesceTimeBound(),
+		}, po.scale(40*time.Millisecond), po.scale(120*time.Millisecond))
+		return []string{fDurUs(p.tau), fDurUs(p.ot), fGbps(float64(res.throughput)),
+			fF(res.oooFrac), fI(res.retransmits)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: throughput reaches line rate once ofo_timeout >= tau - tau0 (tau0 = 125us interrupt coalescing); in this model the crossover lands at ~tau (+queueing jitter) because coalescing delays both sides of a hole equally")
 	return t
@@ -180,33 +197,41 @@ func fig14(o Options) *Table {
 		timeouts = []time.Duration{0, 200 * time.Microsecond, 600 * time.Microsecond, 1000 * time.Microsecond}
 	}
 	dur := o.scale(2000 * time.Millisecond)
+	type point struct{ tau, ot time.Duration }
+	var pts []point
 	for _, tau := range taus {
 		for _, ot := range timeouts {
-			s := o.newSim()
-			jcfg := core.DefaultConfig()
-			jcfg.InseqTimeout = 52 * time.Microsecond
-			jcfg.OfoTimeout = ot
-			rcvHost := testbed.DefaultHostConfig(testbed.OffloadJuggler)
-			rcvHost.Juggler = jcfg
-			rcvHost.RX = coalesceTimeBound()
-			// 0.3%% per-packet drops put the dropped-RPC cohort (~2%% of
-			// RPCs) squarely at the 99th percentile, so p99 measures loss
-			// recovery as in the paper's figure.
-			tb := testbed.NewNetFPGAPair(s, units.Rate10G, tau, 0.003,
-				testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvHost)
-			// RTO floored well above the sweep so the ofo effect is not
-			// shortcut by the retransmission timer; requests are issued
-			// closed loop (next request once the previous completes) so
-			// the tail reflects per-RPC recovery, not open-loop queueing.
-			snd, rcv := testbed.Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{RTOMin: 10 * time.Millisecond})
-			lat := stats.NewSampler(8192)
-			stream := workload.NewRPCStream(s, snd, rcv, lat)
-			stream.OnComplete = func() { stream.Send(10 * units.KB) }
-			stream.Send(10 * units.KB)
-			s.RunFor(dur)
-			stream.OnComplete = nil
-			t.Add(fDurUs(tau), fDurUs(ot), fMs(lat.P99()), fMs(lat.Median()), fI(stream.Completed))
+			pts = append(pts, point{tau, ot})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p, po := pts[i], o.point(i, len(pts))
+		s := po.newSim()
+		jcfg := core.DefaultConfig()
+		jcfg.InseqTimeout = 52 * time.Microsecond
+		jcfg.OfoTimeout = p.ot
+		rcvHost := testbed.DefaultHostConfig(testbed.OffloadJuggler)
+		rcvHost.Juggler = jcfg
+		rcvHost.RX = coalesceTimeBound()
+		// 0.3%% per-packet drops put the dropped-RPC cohort (~2%% of
+		// RPCs) squarely at the 99th percentile, so p99 measures loss
+		// recovery as in the paper's figure.
+		tb := testbed.NewNetFPGAPair(s, units.Rate10G, p.tau, 0.003,
+			testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvHost)
+		// RTO floored well above the sweep so the ofo effect is not
+		// shortcut by the retransmission timer; requests are issued
+		// closed loop (next request once the previous completes) so
+		// the tail reflects per-RPC recovery, not open-loop queueing.
+		snd, rcv := testbed.Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{RTOMin: 10 * time.Millisecond})
+		lat := stats.NewSampler(8192)
+		stream := workload.NewRPCStream(s, snd, rcv, lat)
+		stream.OnComplete = func() { stream.Send(10 * units.KB) }
+		stream.Send(10 * units.KB)
+		s.RunFor(dur)
+		stream.OnComplete = nil
+		return []string{fDurUs(p.tau), fDurUs(p.ot), fMs(lat.P99()), fMs(lat.Median()), fI(stream.Completed)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: p99 flat for small ofo_timeout, growing once it exceeds tau - tau0 (loss recovery waits out the full timeout)")
 	return t
@@ -227,41 +252,52 @@ func fig15(o Options) *Table {
 		taus = taus[:2]
 		flowCounts = []int{64, 256, 1024}
 	}
+	type point struct {
+		tau time.Duration
+		n   int
+	}
+	var pts []point
 	for _, tau := range taus {
 		for _, n := range flowCounts {
-			s := o.newSim()
-			jcfg := core.DefaultConfig()
-			jcfg.InseqTimeout = 52 * time.Microsecond
-			jcfg.OfoTimeout = tau + 200*time.Microsecond
-			jcfg.MaxFlows = 4096 // no eviction: measure demand, not the cap
-			rcvHost := testbed.DefaultHostConfig(testbed.OffloadJuggler)
-			rcvHost.Juggler = jcfg
-			rcvHost.RX.Queues = 4
-			tb := testbed.NewNetFPGAPair(s, units.Rate10G, tau, 0,
-				testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvHost)
-			// n long-lived flows share the 10G bottleneck; contention sets
-			// per-flow windows (low-rate flows send single-MTU bursts).
-			for i := 0; i < n; i++ {
-				snd, _ := testbed.Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{
-					MaxCwnd: units.MB,
-				})
-				snd.SetInfinite()
-				start := time.Duration(i) * 50 * time.Microsecond
-				s.Schedule(start, snd.MaybeSend)
-			}
-			var h stats.Hist
-			tick := sim.NewTicker(s, 100*time.Microsecond, func() {
-				for q := 0; q < 4; q++ {
-					h.Observe(tb.Receiver.Jugglers[q].ActiveLen())
-				}
-			})
-			s.RunFor(o.scale(60 * time.Millisecond)) // warm up
-			tick.Start()
-			s.RunFor(o.scale(240 * time.Millisecond))
-			tick.Stop()
-			t.Add(fDurUs(tau), fI(int64(n)), fI(int64(h.Quantile(0.99))),
-				fF(h.Mean()), fI(int64(h.Max())))
+			pts = append(pts, point{tau, n})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(pi int) []string {
+		p, po := pts[pi], o.point(pi, len(pts))
+		s := po.newSim()
+		jcfg := core.DefaultConfig()
+		jcfg.InseqTimeout = 52 * time.Microsecond
+		jcfg.OfoTimeout = p.tau + 200*time.Microsecond
+		jcfg.MaxFlows = 4096 // no eviction: measure demand, not the cap
+		rcvHost := testbed.DefaultHostConfig(testbed.OffloadJuggler)
+		rcvHost.Juggler = jcfg
+		rcvHost.RX.Queues = 4
+		tb := testbed.NewNetFPGAPair(s, units.Rate10G, p.tau, 0,
+			testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvHost)
+		// n long-lived flows share the 10G bottleneck; contention sets
+		// per-flow windows (low-rate flows send single-MTU bursts).
+		for i := 0; i < p.n; i++ {
+			snd, _ := testbed.Connect(tb.Sender, tb.Receiver, tcp.SenderConfig{
+				MaxCwnd: units.MB,
+			})
+			snd.SetInfinite()
+			start := time.Duration(i) * 50 * time.Microsecond
+			s.Schedule(start, snd.MaybeSend)
+		}
+		var h stats.Hist
+		tick := sim.NewTicker(s, 100*time.Microsecond, func() {
+			for q := 0; q < 4; q++ {
+				h.Observe(tb.Receiver.Jugglers[q].ActiveLen())
+			}
+		})
+		s.RunFor(po.scale(60 * time.Millisecond)) // warm up
+		tick.Start()
+		s.RunFor(po.scale(240 * time.Millisecond))
+		tick.Stop()
+		return []string{fDurUs(p.tau), fI(int64(p.n)), fI(int64(h.Quantile(0.99))),
+			fF(h.Mean()), fI(int64(h.Max()))}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: grows with concurrency up to ~256 flows then drops (low-rate flows send single-MTU bursts); worst case < ~35 per gro_table")
 	return t
@@ -283,7 +319,8 @@ func lossOfo(o Options) *Table {
 	if o.Quick {
 		timeouts = []time.Duration{500 * time.Microsecond, 5 * time.Millisecond, 100 * time.Millisecond}
 	}
-	for _, ot := range timeouts {
+	for _, row := range sweep.Map(o.Workers, len(timeouts), func(i int) []string {
+		ot, po := timeouts[i], o.point(i, len(timeouts))
 		jcfg := core.DefaultConfig()
 		jcfg.InseqTimeout = 52 * time.Microsecond
 		jcfg.OfoTimeout = ot
@@ -292,11 +329,13 @@ func lossOfo(o Options) *Table {
 		// paper's CUBIC senders at datacenter RTTs tolerate 0.1%% loss.
 		res := runNetFPGABulk(netfpgaRun{
 			tau: 250 * time.Microsecond, jcfg: jcfg, kind: testbed.OffloadJuggler,
-			dropProb: 0.001, seed: o.Seed, attach: o.AttachTelemetry,
+			dropProb: 0.001, seed: po.Seed, attach: po.AttachTelemetry,
 			coalesce:  coalesceTimeBound(),
 			senderCfg: tcp.SenderConfig{RTOMin: 5 * time.Millisecond, FixedWindow: true},
-		}, o.scale(100*time.Millisecond), o.scale(400*time.Millisecond))
-		t.Add(fMs(ot.Seconds()), fGbps(float64(res.throughput)))
+		}, po.scale(100*time.Millisecond), po.scale(400*time.Millisecond))
+		return []string{fMs(ot.Seconds()), fGbps(float64(res.throughput))}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("paper: throughput lost only when ofo_timeout > ~100ms; here the decline begins once ofo_timeout approaches the pipe's worth of window (ms scale), since every loss stalls delivery for the full timeout")
 	return t

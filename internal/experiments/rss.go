@@ -6,6 +6,7 @@ import (
 	"juggler/internal/core"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -24,9 +25,12 @@ func extRSS(o Options) *Table {
 		Columns: []string{"rx_queues", "tput_Gbps", "rx_core_max%",
 			"active_p99_per_queue", "ooo_frac"},
 	}
-	for _, queues := range []int{1, 2, 4} {
-		tput, rxMax, activeP99, ooo := rssRun(o, queues)
-		t.Add(fI(int64(queues)), fGbps(tput), fPct(rxMax), fI(int64(activeP99)), fF(ooo))
+	counts := []int{1, 2, 4}
+	for _, row := range sweep.Map(o.Workers, len(counts), func(i int) []string {
+		tput, rxMax, activeP99, ooo := rssRun(o.point(i, len(counts)), counts[i])
+		return []string{fI(int64(counts[i])), fGbps(tput), fPct(rxMax), fI(int64(activeP99)), fF(ooo)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("per-queue Juggler instances and per-queue cores divide both the CPU load and the flow-table pressure; memory scales linearly with queues (§5.2.2)")
 	return t

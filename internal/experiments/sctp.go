@@ -10,6 +10,7 @@ import (
 	"juggler/internal/msgt"
 	"juggler/internal/nic"
 	"juggler/internal/packet"
+	"juggler/internal/sweep"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
 )
@@ -28,12 +29,23 @@ func extSCTP(o Options) *Table {
 		Columns: []string{"stack", "reorder_us", "goodput_Gbps", "ooo_frac",
 			"spurious_retrans", "batching_MTUs"},
 	}
+	type point struct {
+		kind testbed.OffloadKind
+		tau  time.Duration
+	}
+	var pts []point
 	for _, kind := range []testbed.OffloadKind{testbed.OffloadVanilla, testbed.OffloadJuggler} {
 		for _, tau := range []time.Duration{0, 500 * time.Microsecond} {
-			goodput, ooo, retrans, batching := sctpRun(o, kind, tau)
-			t.Add(kind.String(), fDurUs(tau), fGbps(goodput), fF(ooo),
-				fI(retrans), fF(batching))
+			pts = append(pts, point{kind, tau})
 		}
+	}
+	for _, row := range sweep.Map(o.Workers, len(pts), func(i int) []string {
+		p := pts[i]
+		goodput, ooo, retrans, batching := sctpRun(o.point(i, len(pts)), p.kind, p.tau)
+		return []string{p.kind.String(), fDurUs(p.tau), fGbps(goodput), fF(ooo),
+			fI(retrans), fF(batching)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("no transport-specific code in Juggler: records ride the same byte-sequence machinery as TCP segments; msgt's fixed window has no congestion response, so vanilla's damage shows as 50%% OOO, spurious retransmissions and a 30x batching collapse rather than lost goodput")
 	return t

@@ -7,6 +7,7 @@ import (
 	"juggler/internal/fabric"
 	"juggler/internal/lb"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/tcp"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
@@ -26,12 +27,15 @@ func extWebSearch(o Options) *Table {
 		Columns: []string{"policy", "short_p50_us", "short_p99_us",
 			"long_p50_ms", "long_p99_ms", "completed"},
 	}
-	for _, policy := range []string{lb.PolicyECMP, lb.PolicyPerTSO, lb.PolicyPerPacket} {
-		shortLat, longLat, done := webSearchRun(o, policy)
-		t.Add(policy,
+	policies := []string{lb.PolicyECMP, lb.PolicyPerTSO, lb.PolicyPerPacket}
+	for _, row := range sweep.Map(o.Workers, len(policies), func(i int) []string {
+		shortLat, longLat, done := webSearchRun(o.point(i, len(policies)), policies[i])
+		return []string{policies[i],
 			fUs(shortLat.Median()), fUs(shortLat.P99()),
 			fMs(longLat.Median()), fMs(longLat.P99()),
-			fI(done))
+			fI(done)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("heavy-tailed mix: the short-flow p99 separates the policies the same way the paper's 150B RPCs do; long flows complete comparably everywhere")
 	return t

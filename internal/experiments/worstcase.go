@@ -8,6 +8,7 @@ import (
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
+	"juggler/internal/sweep"
 	"juggler/internal/units"
 )
 
@@ -32,8 +33,10 @@ func ablWorstCase(o Options) *Table {
 	gap := time.Duration(float64(time.Second) / perQueue)
 	bound := int(perQueue * 0.001) // the paper's 1ms arithmetic (~208)
 
-	for _, inseq := range []time.Duration{15 * time.Microsecond, 100 * time.Microsecond, time.Millisecond} {
-		s := o.newSim()
+	inseqs := []time.Duration{15 * time.Microsecond, 100 * time.Microsecond, time.Millisecond}
+	for _, row := range sweep.Map(o.Workers, len(inseqs), func(pi int) []string {
+		inseq, po := inseqs[pi], o.point(pi, len(inseqs))
+		s := po.newSim()
 		cfg := core.Config{
 			InseqTimeout: inseq,
 			OfoTimeout:   time.Millisecond,
@@ -69,13 +72,15 @@ func ablWorstCase(o Options) *Table {
 			s.Schedule(gap, inject)
 		}
 		s.Schedule(0, inject)
-		s.RunFor(o.scale(40 * time.Millisecond))
+		s.RunFor(po.scale(40 * time.Millisecond))
 		sample.Stop()
 		poll.Stop()
 
-		t.Add(fDurUs(inseq), fI(int64(bound)), fI(int64(activeLen.Quantile(0.99))),
+		return []string{fDurUs(inseq), fI(int64(bound)), fI(int64(activeLen.Quantile(0.99))),
 			fI(int64(activeLen.Max())), fI(int64(inactiveLen.Quantile(0.99))),
-			fmt.Sprintf("%d", maxBuf/1024))
+			fmt.Sprintf("%d", maxBuf/1024)}
+	}) {
+		t.Add(row...)
 	}
 	t.Note("the paper's bound assumes every packet is held the full 1ms (the inseq=1000us row reproduces it: ~200 active); with the real 15us default, the flood needs only ~4 active entries — inactive entries are evictable on demand")
 	return t

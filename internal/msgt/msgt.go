@@ -44,6 +44,7 @@ type Sender struct {
 	sim  *sim.Sim
 	flow packet.FiveTuple
 	out  func(*packet.Packet)
+	pool *packet.Pool
 
 	// Window is the record-count flight limit.
 	Window int
@@ -62,7 +63,7 @@ func NewSender(s *sim.Sim, flow packet.FiveTuple, window int, out func(*packet.P
 	if window <= 0 {
 		panic("msgt: non-positive window")
 	}
-	snd := &Sender{sim: s, flow: flow, out: out, Window: window}
+	snd := &Sender{sim: s, flow: flow, out: out, pool: packet.PoolFromSim(s), Window: window}
 	snd.rto = sim.NewTimer(s, snd.onRTO)
 	return snd
 }
@@ -86,13 +87,13 @@ func (s *Sender) fill() {
 
 func (s *Sender) send(tsn uint32) {
 	s.Stats.Sent++
-	s.out(&packet.Packet{
-		Flow:       s.flow,
-		Seq:        tsnToSeq(tsn),
-		PayloadLen: RecordSize,
-		Flags:      packet.FlagACK,
-		SentAt:     s.sim.Now(),
-	})
+	p := s.pool.Get()
+	p.Flow = s.flow
+	p.Seq = tsnToSeq(tsn)
+	p.PayloadLen = RecordSize
+	p.Flags = packet.FlagACK
+	p.SentAt = s.sim.Now()
+	s.out(p)
 }
 
 // OnAck processes a cumulative acknowledgment (AckSeq = next expected TSN,

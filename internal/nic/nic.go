@@ -29,6 +29,7 @@ import (
 type TX struct {
 	sim  *sim.Sim
 	port *fabric.Port
+	pool *packet.Pool
 
 	nextTSOID uint64
 
@@ -48,7 +49,7 @@ type TX struct {
 // telemetry sink is attached to the simulation, outgoing packets are
 // captured on a "<port>/tx" interface and TSO bursts recorded as events.
 func NewTX(s *sim.Sim, port *fabric.Port) *TX {
-	tx := &TX{sim: s, port: port, txIface: -1}
+	tx := &TX{sim: s, port: port, pool: packet.PoolFromSim(s), txIface: -1}
 	if k := telemetry.FromSim(s); k != nil {
 		tx.tel = k
 		tx.track = k.Track(port.Name)
@@ -86,7 +87,8 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 		if last {
 			n = payloadLen - off
 		}
-		p := tmpl // copy
+		p := tx.pool.Get()
+		*p = tmpl
 		p.Seq = seq + uint32(off)
 		p.PayloadLen = n
 		p.TSOID = id
@@ -98,8 +100,8 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 		}
 		tx.TxPackets++
 		tx.mTxPkts.Inc()
-		tx.tel.CapturePacket(tx.txIface, false, &p)
-		tx.port.Send(&p)
+		tx.tel.CapturePacket(tx.txIface, false, p)
+		tx.port.Send(p)
 	}
 }
 
@@ -154,9 +156,10 @@ func DefaultRXConfig() RXConfig {
 // coalescing, NAPI polls that feed the offload layer and charge the RX
 // core.
 type RX struct {
-	sim *sim.Sim
-	cfg RXConfig
-	cpu *cpumodel.Model
+	sim  *sim.Sim
+	cfg  RXConfig
+	cpu  *cpumodel.Model
+	pool *packet.Pool
 
 	queues []*rxQueue
 
@@ -212,7 +215,7 @@ func NewRX(s *sim.Sim, cfg RXConfig, cpu *cpumodel.Model, makeOffload func(queue
 	if cpu == nil {
 		panic("nic: RX requires a CPU model")
 	}
-	rx := &RX{sim: s, cfg: cfg, cpu: cpu, rxIface: -1}
+	rx := &RX{sim: s, cfg: cfg, cpu: cpu, pool: packet.PoolFromSim(s), rxIface: -1}
 	name := cfg.Name
 	if name == "" {
 		name = "nic"
@@ -366,6 +369,10 @@ func (q *rxQueue) poll() {
 	before := q.offload.Counters()
 	for _, p := range batch {
 		q.offload.Receive(p)
+		// The offload layer copies what it keeps into Segments and never
+		// retains the *Packet, so the wire object can be recycled here —
+		// the single Put matching the Get in SendTSO / the ACK generator.
+		q.rx.pool.Put(p)
 	}
 	after := q.offload.Counters()
 

@@ -1,0 +1,68 @@
+package packet
+
+import "juggler/internal/sim"
+
+// Pool is a free list of Packet objects for one simulation. The stack's two
+// packet mints (the NIC TSO engine and the receiver's ACK generator) draw
+// from it, and the receive path returns each packet once the offload engine
+// has consumed it into a Segment — nothing downstream of rxQueue.poll ever
+// retains a *Packet, so one Get/Put cycle per wire packet makes the
+// steady-state datapath allocation-free.
+//
+// All methods are nil-safe: a nil *Pool degrades to plain heap allocation,
+// so components work unchanged in harnesses that never install a pool.
+//
+// A Pool is not safe for concurrent use; like everything else hanging off a
+// Sim it belongs to exactly one single-threaded simulation.
+type Pool struct {
+	free []*Packet
+	// Gets and Reuses count pool traffic for benchmarks: Gets is total
+	// allocations requested, Reuses how many were served from the free list.
+	Gets, Reuses uint64
+}
+
+// Get returns a zeroed Packet, recycled when possible.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	pl.Gets++
+	n := len(pl.free)
+	if n == 0 {
+		return &Packet{}
+	}
+	p := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	pl.Reuses++
+	*p = Packet{}
+	return p
+}
+
+// Put returns p to the free list. Callers must not touch p afterwards.
+// Putting nil (or into a nil pool) is a no-op, so drop paths can recycle
+// unconditionally.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// PoolFromSim returns the simulation's shared packet pool, creating and
+// installing one in the Sim.PacketPool slot on first use. The slot is typed
+// any on the sim side so the engine does not import this package; every
+// component that mints or recycles packets resolves the same pool through
+// this accessor (mirroring telemetry.FromSim). A nil Sim yields a nil Pool,
+// which is valid (see Pool).
+func PoolFromSim(s *sim.Sim) *Pool {
+	if s == nil {
+		return nil
+	}
+	if pl, ok := s.PacketPool.(*Pool); ok {
+		return pl
+	}
+	pl := &Pool{}
+	s.PacketPool = pl
+	return pl
+}

@@ -5,10 +5,14 @@
 // (time, insertion-order) order, so every experiment is exactly reproducible
 // given its seed. Components schedule future work with Schedule/After and
 // cancel pending work via the returned *Event handle or a Timer.
+//
+// The hot loop is allocation-free in steady state: executed (and lazily
+// drained cancelled) events are recycled through a per-Sim free list, and
+// the ready queue is an inlined 4-ary heap of *Event with no interface
+// boxing — see BenchmarkSchedule / TestScheduleStepZeroAlloc.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -31,68 +35,67 @@ func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
 // String formats the time with microsecond resolution for traces.
 func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
 
+// Event state. An event moves queued -> free when it executes or when its
+// cancelled carcass is drained from the heap; Schedule moves free -> queued.
+const (
+	stateQueued uint8 = iota // in the heap, may still fire
+	stateFree                // recycled (or never scheduled); handle is dead
+)
+
 // Event is a scheduled callback. The zero Event is not valid; events are
 // created by Sim.Schedule and may be cancelled with Cancel before they run.
+//
+// Handle lifetime: a *Event returned by Schedule is valid until the event
+// fires (or its cancelled remains are drained from the queue). After that
+// the Sim recycles the Event through its free list and a later Schedule may
+// hand the same pointer to an unrelated caller — retaining a handle past
+// the firing and calling Cancel on it would cancel that unrelated event.
+// Holders that may outlive the firing must clear their reference from the
+// callback (see Timer.fire).
 type Event struct {
 	at     Time
 	seq    uint64 // tie-break: FIFO among events at the same instant
 	fn     func()
-	index  int // position in heap, -1 once popped or cancelled
+	owner  *Sim // for live-count accounting in Cancel
+	state  uint8
 	cancel bool
 }
 
 // Cancel prevents the event from running. Cancelling an event that already
 // ran (or was already cancelled) is a no-op. Returns true if the event was
-// still pending.
+// still pending. The carcass stays in the queue and is reclaimed lazily
+// when it reaches the head.
 func (e *Event) Cancel() bool {
-	if e == nil || e.cancel || e.index == -2 {
+	if e == nil || e.cancel || e.state != stateQueued {
 		return false
 	}
 	e.cancel = true
+	e.owner.live--
 	return true
 }
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.cancel && e.index >= 0 }
+func (e *Event) Pending() bool { return e != nil && !e.cancel && e.state == stateQueued }
 
 // Time returns the instant the event is (or was) scheduled for.
 func (e *Event) Time() Time { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -2
-	*h = old[:n-1]
-	return e
+// eventBefore is the heap order: earliest time first, FIFO within an
+// instant. Kept free of interface indirection so the compiler can inline it
+// into the sift loops.
+func eventBefore(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Sim is a discrete-event simulator instance. Create one with New; it is
 // not safe for concurrent use (the whole simulation is single-threaded by
-// design).
+// design — parallelism lives one level up, in internal/sweep, which runs
+// one Sim per parameter point).
 type Sim struct {
 	now     Time
-	queue   eventHeap
+	queue   []*Event // 4-ary min-heap on (at, seq)
+	free    []*Event // recycled events, reused by Schedule
+	live    int      // queued and not cancelled — Pending() in O(1)
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -111,6 +114,12 @@ type Sim struct {
 	// telemetry.FromSim. The field is typed any so the sim engine does not
 	// depend on the telemetry package (which depends on sim for Time).
 	Telemetry any
+
+	// PacketPool is the per-run packet free-list slot, managed by
+	// packet.PoolFromSim exactly as Telemetry is by telemetry.FromSim: the
+	// engine stays ignorant of the packet package while every component of
+	// one simulation shares a single recycler.
+	PacketPool any
 }
 
 // New creates a simulator whose random source is seeded with seed.
@@ -145,9 +154,84 @@ func (s *Sim) ScheduleAt(t Time, fn func()) *Event {
 		panic("sim: nil event function")
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, e)
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{owner: s}
+	}
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.state = stateQueued
+	e.cancel = false
+	s.live++
+	s.push(e)
 	return e
+}
+
+// push inserts e into the 4-ary heap.
+func (s *Sim) push(e *Event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventBefore(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	s.queue = q
+}
+
+// pop removes and returns the earliest event. Callers must check len first.
+func (s *Sim) pop() *Event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	s.queue = q
+	if n > 0 {
+		// Sift last down from the root: pick the smallest of up to 4
+		// children at each level.
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for k := c + 1; k < end; k++ {
+				if eventBefore(q[k], q[min]) {
+					min = k
+				}
+			}
+			if !eventBefore(q[min], last) {
+				break
+			}
+			q[i] = q[min]
+			i = min
+		}
+		q[i] = last
+	}
+	return top
+}
+
+// recycle returns a popped event to the free list.
+func (s *Sim) recycle(e *Event) {
+	e.state = stateFree
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
@@ -157,23 +241,33 @@ func (s *Sim) Stop() { s.stopped = true }
 // empty.
 func (s *Sim) step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.pop()
 		if e.cancel {
+			// Drained carcass: Cancel already took it out of the live count.
+			s.recycle(e)
 			continue
 		}
 		if e.at < s.now {
 			panic("sim: time went backwards")
 		}
 		s.now = e.at
+		s.live--
+		fn := e.fn
+		s.recycle(e)
 		s.Executed++
 		if s.MaxEvents != 0 && s.Executed > s.MaxEvents {
 			panic("sim: MaxEvents exceeded (runaway event loop?)")
 		}
-		e.fn()
+		fn()
 		return true
 	}
 	return false
 }
+
+// Step pops and executes the next event, returning false when the queue is
+// empty. It is the single-event granularity used by micro-benchmarks and
+// debugging harnesses; Run/RunUntil are the normal drivers.
+func (s *Sim) Step() bool { return s.step() }
 
 // Run executes events until the queue drains or Stop is called.
 func (s *Sim) Run() {
@@ -190,10 +284,11 @@ func (s *Sim) RunUntil(t Time) {
 		if len(s.queue) == 0 {
 			break
 		}
-		// Peek.
+		// Peek; drain cancelled carcasses through the same free-list
+		// accounting step uses.
 		next := s.queue[0]
 		if next.cancel {
-			heap.Pop(&s.queue)
+			s.recycle(s.pop())
 			continue
 		}
 		if next.at > t {
@@ -209,14 +304,6 @@ func (s *Sim) RunUntil(t Time) {
 // RunFor advances the simulation by d from the current time.
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 
-// Pending returns the number of queued (non-cancelled) events. O(n); meant
-// for tests and diagnostics.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancel {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued (non-cancelled) events, maintained
+// incrementally — O(1).
+func (s *Sim) Pending() int { return s.live }

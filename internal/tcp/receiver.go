@@ -25,6 +25,7 @@ type ReceiverStats struct {
 type Receiver struct {
 	sim  *sim.Sim
 	flow packet.FiveTuple // data-direction tuple
+	pool *packet.Pool
 
 	irs    uint32
 	rcvNxt uint32
@@ -56,7 +57,7 @@ type Receiver struct {
 // NewReceiver creates a receiver for the data-direction flow; ACKs are
 // emitted through sendAck on the reverse tuple.
 func NewReceiver(s *sim.Sim, flow packet.FiveTuple, sendAck func(p *packet.Packet)) *Receiver {
-	r := &Receiver{sim: s, flow: flow, irs: 1, rcvNxt: 1, sendAck: sendAck}
+	r := &Receiver{sim: s, flow: flow, pool: packet.PoolFromSim(s), irs: 1, rcvNxt: 1, sendAck: sendAck}
 	if k := telemetry.FromSim(s); k != nil {
 		r.tel = k
 		reg := k.Reg()
@@ -242,11 +243,10 @@ func (r *Receiver) coalesceAt(i int) {
 func (r *Receiver) ack(ce bool) {
 	r.Stats.AcksSent++
 	r.mAcksOut.Inc()
-	p := &packet.Packet{
-		Flow:   r.flow.Reverse(),
-		Flags:  packet.FlagACK,
-		AckSeq: r.rcvNxt,
-	}
+	p := r.pool.Get()
+	p.Flow = r.flow.Reverse()
+	p.Flags = packet.FlagACK
+	p.AckSeq = r.rcvNxt
 	if ce {
 		p.Flags |= packet.FlagECE
 	}
