@@ -13,6 +13,7 @@ package juggler
 
 import (
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -131,6 +132,76 @@ func BenchmarkJugglerReordered(b *testing.B) {
 		bb := uint32(i * units.MSS)
 		j.Receive(&packet.Packet{Flow: benchFlow, Seq: a, PayloadLen: units.MSS, Flags: packet.FlagACK})
 		j.Receive(&packet.Packet{Flow: benchFlow, Seq: bb, PayloadLen: units.MSS, Flags: packet.FlagACK})
+	}
+}
+
+// BenchmarkFlowScale measures per-packet cost with 1k/10k/100k concurrent
+// reordered flows in one gro_table. Every visit to a flow delivers two
+// in-sequence packets, then a displaced pair: the later packet first
+// (opening a one-MSS hole, sealed by PSH), then the hole fill, which
+// merges the standalone segments — recycling the absorbed one — and
+// flushes the sealed result. One packet in four arrives out of place, the
+// same displacement rate the flowscale experiment drives. The per-packet
+// figure must stay flat as concurrency grows three orders of magnitude —
+// the open-addressing lookup, free-list churn and deadline-queue expiry
+// are all O(1) per packet — and the loop must not allocate in steady
+// state (BENCH_04.json records both).
+func BenchmarkFlowScale(b *testing.B) {
+	for _, flows := range []int{1000, 10000, 100000} {
+		name := map[int]string{1000: "1k", 10000: "10k", 100000: "100k"}[flows]
+		b.Run(name, func(b *testing.B) {
+			s := sim.New(1)
+			pool := packet.SegPoolFromSim(s)
+			cfg := core.Config{
+				InseqTimeout: 15 * time.Microsecond,
+				OfoTimeout:   50 * time.Microsecond,
+				MaxFlows:     flows,
+			}
+			j := core.New(s, cfg, func(seg *packet.Segment) { pool.Put(seg) })
+			tuples := make([]packet.FiveTuple, flows)
+			hashes := make([]uint32, flows)
+			seqs := make([]uint32, flows)
+			for f := range tuples {
+				tuples[f] = packet.FiveTuple{
+					SrcIP: uint32(f/65000) + 1, DstIP: 9,
+					SrcPort: uint16(f % 65000), DstPort: 5001, Proto: packet.ProtoTCP,
+				}
+				hashes[f] = tuples[f].Hash(0)
+				seqs[f] = 1
+			}
+			send := func(f int, seq uint32, flags packet.Flags) {
+				j.Receive(&packet.Packet{Flow: tuples[f], FlowHash: hashes[f],
+					Seq: seq, PayloadLen: units.MSS, Flags: packet.FlagACK | flags})
+			}
+			// visit sends one flow's 4-packet round: 2 in-order, then the
+			// hole/fill/flush pair.
+			visit := func(f int) {
+				s0 := seqs[f]
+				send(f, s0, 0)                          // in sequence
+				send(f, s0+units.MSS, 0)                // in sequence
+				send(f, s0+3*units.MSS, packet.FlagPSH) // sealed, 1-MSS hole
+				send(f, s0+2*units.MSS, 0)              // fill: merge + flush
+				seqs[f] = s0 + 4*units.MSS
+			}
+			for f := 0; f < flows; f++ {
+				visit(f) // warm up: table full, pools and queues sized
+			}
+			// The measured loop is allocation-free, so one collection here
+			// keeps the GC from scanning 100k pointer-rich entries inside
+			// the timed region (warmup leaves the heap near the trigger).
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+			pkts := 0
+			for f := 0; pkts < b.N; f = (f + 1) % flows {
+				visit(f)
+				pkts += 4
+			}
+			b.StopTimer()
+			if err := j.CheckInvariants(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -1,18 +1,23 @@
 // Command juggler-benchrec records the repo's performance baseline into a
 // JSON artifact: hot-path micro-benchmark numbers (ns/op, allocs/op for
-// the event engine and the packet pool), raw event-loop throughput, and
-// the wall-clock of one experiment sweep run serially vs on -j workers —
+// the event engine and the packet pool), the flow-scale datapath's
+// per-packet cost at 1k/10k/100k concurrent reordered flows, its
+// steady-state allocation counts, raw event-loop throughput, and the
+// wall-clock of one experiment sweep run serially vs on -j workers —
 // re-checking on the way that both produce byte-identical tables.
 //
 // Usage:
 //
-//	juggler-benchrec [-o BENCH_03.json] [-sweep fig13] [-quick] [-j 0]
+//	juggler-benchrec [-o BENCH_04.json] [-sweep fig13] [-quick] [-j 0]
 //
 // The committed BENCH_NN.json at the repo root is this command's output;
 // CI regenerates it on every run and uploads it as an artifact. Numbers
 // are host-dependent — the record embeds core count and GOMAXPROCS so the
 // sweep speedup can be read in context (a single-core host cannot show
-// one).
+// one). Two checks are host-independent and fatal: the serial and
+// parallel sweep tables must be byte-identical, and the steady-state
+// datapath loops must not allocate (a non-zero allocs-per-cycle count is
+// a regression in the flow/segment recycling and exits 1).
 package main
 
 import (
@@ -24,7 +29,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_03.json", "output path ('-' = stdout)")
+	out := flag.String("o", "BENCH_04.json", "output path ('-' = stdout)")
 	sweepID := flag.String("sweep", "fig13", "experiment to time serial vs parallel")
 	quick := flag.Bool("quick", false, "time the quick (~10x smaller) sweep instead of full fidelity")
 	workers := flag.Int("j", 0, "parallel width for the sweep timing (0 = one per core)")
@@ -38,6 +43,17 @@ func main() {
 	if !rep.Sweep.Identical {
 		fmt.Fprintf(os.Stderr, "juggler-benchrec: %s table differs between serial and -j %d runs\n",
 			rep.Sweep.Experiment, rep.Sweep.Workers)
+		os.Exit(1)
+	}
+	allocRegression := false
+	for name, allocs := range rep.SteadyStateAllocs {
+		if allocs != 0 {
+			fmt.Fprintf(os.Stderr, "juggler-benchrec: steady-state %s allocates %.1f per cycle, want 0\n",
+				name, allocs)
+			allocRegression = true
+		}
+	}
+	if allocRegression {
 		os.Exit(1)
 	}
 
@@ -56,8 +72,10 @@ func main() {
 		os.Exit(1)
 	}
 	if *out != "-" {
-		fmt.Printf("wrote %s (sweep %s: %.2fs serial, %.2fs with -j %d, %.2fx, identical tables)\n",
+		fmt.Printf("wrote %s (sweep %s: %.2fs serial, %.2fs with -j %d, %.2fx, identical tables; "+
+			"flow scale 1k->100k %.2fx per packet, 0 steady-state allocs)\n",
 			*out, rep.Sweep.Experiment, rep.Sweep.SerialSeconds,
-			rep.Sweep.ParallelSeconds, rep.Sweep.Workers, rep.Sweep.Speedup)
+			rep.Sweep.ParallelSeconds, rep.Sweep.Workers, rep.Sweep.Speedup,
+			rep.FlowScaleRatio)
 	}
 }

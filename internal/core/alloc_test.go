@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// These tests pin the flow-scale datapath's steady-state allocation
+// behaviour to zero: flow churn recycles entries through the free list and
+// hole churn recycles segments through the segment pool, so a Juggler that
+// has reached its working-set size never touches the heap again. CI runs
+// them under the ZeroAlloc pattern next to the sim/packet pool guards.
+
+// TestZeroAllocFlowChurn cycles many more flows than MaxFlows through the
+// table: every new flow evicts a post-merge one, exercising newFlow,
+// evict, releaseFlow and the open-addressing insert/delete paths.
+func TestZeroAllocFlowChurn(t *testing.T) {
+	s := sim.New(1)
+	pool := packet.SegPoolFromSim(s)
+	cfg := Config{
+		InseqTimeout: 15 * time.Microsecond,
+		OfoTimeout:   50 * time.Microsecond,
+		MaxFlows:     64,
+	}
+	j := New(s, cfg, func(seg *packet.Segment) { pool.Put(seg) })
+
+	p := packet.Packet{
+		Flow: packet.FiveTuple{
+			SrcIP: 1, DstIP: 2, DstPort: 5001, Proto: packet.ProtoTCP,
+		},
+		PayloadLen: units.MSS,
+		Flags:      packet.FlagACK | packet.FlagPSH, // sealed: flushes at once
+	}
+	port := uint16(0)
+	cycle := func() {
+		// 128 single-packet flows over 64 slots: half the iterations evict.
+		for i := 0; i < 128; i++ {
+			port++
+			p.Flow.SrcPort = 10000 + port%128
+			p.FlowHash = p.Flow.Hash(0)
+			p.Seq += units.MSS
+			j.Receive(&p)
+		}
+	}
+	cycle() // warm up the free lists and table to working-set size
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("steady-state flow churn allocates %.1f per cycle, want 0", allocs)
+	}
+	if err := j.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroAllocHoleChurn repeatedly opens a hole in one flow and fills it:
+// the fill append-merges the two standalone segments, returning the
+// absorbed one to the pool (the hole-closing recycle point), and the
+// sealed result flushes through the deliver callback, which returns the
+// rest.
+func TestZeroAllocHoleChurn(t *testing.T) {
+	s := sim.New(1)
+	pool := packet.SegPoolFromSim(s)
+	cfg := Config{
+		InseqTimeout: 15 * time.Microsecond,
+		OfoTimeout:   50 * time.Microsecond,
+		MaxFlows:     8,
+	}
+	j := New(s, cfg, func(seg *packet.Segment) { pool.Put(seg) })
+
+	flow := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 7, DstPort: 5001, Proto: packet.ProtoTCP}
+	hash := flow.Hash(0)
+	seq := uint32(1)
+	send := func(at uint32, flags packet.Flags) {
+		p := packet.Packet{Flow: flow, FlowHash: hash, Seq: at,
+			PayloadLen: units.MSS, Flags: packet.FlagACK | flags}
+		j.Receive(&p)
+	}
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			// seq in order, then a sealed segment two MSS ahead, then the
+			// gap fill: the fill appends to the head and merges it with the
+			// sealed tail, which immediately flushes all three packets.
+			send(seq, 0)
+			send(seq+2*units.MSS, packet.FlagPSH)
+			send(seq+units.MSS, 0)
+			seq += 3 * units.MSS
+		}
+	}
+	cycle() // warm up pool and queue arrays
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("steady-state hole churn allocates %.1f per cycle, want 0", allocs)
+	}
+	if j.Stats.FlushEvent == 0 || j.BufferedBytes() != 0 {
+		t.Fatalf("workload did not exercise the flush path (flushes=%d buffered=%d)",
+			j.Stats.FlushEvent, j.BufferedBytes())
+	}
+	if err := j.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

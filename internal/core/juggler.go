@@ -16,6 +16,14 @@
 // loss recovery (plus the transient initial phase) — and live on one of
 // three lists (active, inactive, loss recovery) that drive the aggressive
 // eviction policy bounding memory (§4.3).
+//
+// The data structures are sized for flow-scale operation (100k+ concurrent
+// flows per instance): the gro_table is an open-addressing hash table over
+// the NIC-computed five-tuple hash, flow entries and segments recycle
+// through free lists, per-instance buffered-byte accounting is incremental,
+// and timeout expiry pops a deadline-ordered queue instead of scanning
+// every flow — all O(1) or O(expired) per operation, allocation-free in
+// steady state.
 package core
 
 import (
@@ -95,6 +103,14 @@ type Config struct {
 
 	// Eviction selects the eviction policy (ablation hook).
 	Eviction EvictionPolicy
+
+	// TimeoutScan switches timeout expiry back to the reference
+	// implementation that walks every flow on the active and loss lists
+	// (O(flows) per timer fire). The default expiry pops a
+	// deadline-ordered queue in O(expired); the two are equivalence-tested
+	// against each other, and this hook keeps the reference oracle
+	// runnable for that test and for ablations.
+	TimeoutScan bool
 }
 
 // DefaultConfig returns the paper's default tuning: inseq_timeout 15us,
@@ -133,9 +149,14 @@ type Stats struct {
 	BuildUpBackward int64
 }
 
-// flowEntry is the per-flow state of §4.1 plus intrusive list linkage.
+// flowEntry is the per-flow state of §4.1 plus intrusive list linkage, the
+// open-addressing table's cached key hash, and the deadline-queue anchor.
+// Entries recycle through the Juggler's free list; release keeps the
+// out-of-order queue's backing arrays so steady-state flow churn never
+// allocates.
 type flowEntry struct {
 	key            packet.FiveTuple
+	hash           uint32 // key.Hash(0), cached for probing
 	ooo            oooQueue
 	flushTimestamp sim.Time
 	// holdStart anchors the timeout clocks: the later of the last flush
@@ -149,6 +170,16 @@ type flowEntry struct {
 
 	prev, next *flowEntry
 	list       *flowList
+	// listSeq is a monotone stamp assigned on every list push. Lists only
+	// append, so iteration order within a list is ascending listSeq — it
+	// lets the deadline-queue expiry path reconstruct the reference scan
+	// order over an unordered due set.
+	listSeq uint64
+
+	// dl anchors the flow in the Juggler's deadline queue; its stored
+	// deadline always equals flowDeadline (maintained by updateDeadline at
+	// every mutation site).
+	dl sim.DeadlineItem
 }
 
 // flowList is an intrusive FIFO doubly-linked list (the active, inactive
@@ -200,10 +231,28 @@ type Juggler struct {
 	cfg     Config
 	deliver gro.Deliver
 
-	table    map[packet.FiveTuple]*flowEntry
+	table    flowTable
 	active   flowList
 	inactive flowList
 	loss     flowList
+
+	// dq orders every flow holding packets by its next timeout instant, so
+	// expiry visits only due flows. due is the reusable scratch the expiry
+	// path collects them into; pushSeq feeds flowEntry.listSeq.
+	dq      *sim.DeadlineQueue[*flowEntry]
+	due     []*flowEntry
+	pushSeq uint64
+
+	// freeFlows chains released entries (through their next pointers) for
+	// reuse; segPool recycles the segments the out-of-order queues mint.
+	freeFlows *flowEntry
+	segPool   *packet.SegPool
+
+	// buffered/bufferedPkts aggregate the out-of-order queue contents
+	// across all flows, maintained incrementally at every insert, flush
+	// and drain so BufferedBytes is O(1).
+	buffered     int
+	bufferedPkts int
 
 	timer *sim.Timer
 
@@ -232,7 +281,11 @@ func New(s *sim.Sim, cfg Config, d gro.Deliver) *Juggler {
 	if cfg.InseqTimeout < 0 || cfg.OfoTimeout < 0 {
 		panic("core: negative timeout")
 	}
-	j := &Juggler{sim: s, cfg: cfg, deliver: d, table: map[packet.FiveTuple]*flowEntry{}}
+	j := &Juggler{sim: s, cfg: cfg, deliver: d,
+		table:   newFlowTable(cfg.MaxFlows),
+		segPool: packet.SegPoolFromSim(s),
+	}
+	j.dq = sim.NewDeadlineQueue(func(e *flowEntry) *sim.DeadlineItem { return &e.dl })
 	j.timer = sim.NewTimer(s, j.onTimer)
 	j.Instrument(telemetry.FromSim(s))
 	return j
@@ -277,23 +330,43 @@ func (j *Juggler) InactiveLen() int { return j.inactive.n }
 func (j *Juggler) LossLen() int { return j.loss.n }
 
 // TableLen returns the number of tracked flows.
-func (j *Juggler) TableLen() int { return len(j.table) }
+func (j *Juggler) TableLen() int { return j.table.len() }
 
 // BufferedBytes returns the total payload bytes currently held across all
-// out-of-order queues — the memory the §3.3 DoS analysis bounds.
-func (j *Juggler) BufferedBytes() int {
-	n := 0
-	for _, e := range j.table {
-		n += e.ooo.bytes()
+// out-of-order queues — the memory the §3.3 DoS analysis bounds. O(1):
+// maintained incrementally.
+func (j *Juggler) BufferedBytes() int { return j.buffered }
+
+// BufferedPkts returns the total packets currently held across all
+// out-of-order queues. O(1): maintained incrementally.
+func (j *Juggler) BufferedPkts() int { return j.bufferedPkts }
+
+// enlist appends e to l, stamping the push-order sequence the deadline
+// expiry path sorts by. All list pushes go through here.
+func (j *Juggler) enlist(l *flowList, e *flowEntry) {
+	e.listSeq = j.pushSeq
+	j.pushSeq++
+	l.pushBack(e)
+}
+
+// flowHash returns the canonical salt-0 hash for p, reusing the value the
+// NIC RSS stage stamped when present. A stamped hash always equals
+// Flow.Hash(0), so the fallback is consistent with it.
+func flowHash(p *packet.Packet) uint32 {
+	if p.FlowHash != 0 {
+		return p.FlowHash
 	}
-	return n
+	return p.Flow.Hash(0)
 }
 
 // CheckInvariants verifies the internal bookkeeping: every tracked flow on
 // exactly one list matching its phase, list lengths in agreement with the
-// table, post-merge flows holding nothing, and the table within its Table-2
-// eviction bound. It returns nil when consistent. Tests and the chaos
-// invariant checker call it after operations; it is not on the hot path.
+// table, post-merge flows holding nothing, the table within its Table-2
+// eviction bound, the incremental byte/packet accounting matching a full
+// recount, and the deadline queue holding exactly the flows with pending
+// timeouts at their current deadlines. It returns nil when consistent.
+// Tests and the chaos invariant checker call it after operations; it is
+// not on the hot path.
 func (j *Juggler) CheckInvariants() error {
 	count := func(l *flowList) int {
 		n := 0
@@ -306,29 +379,66 @@ func (j *Juggler) CheckInvariants() error {
 		count(&j.loss) != j.loss.n {
 		return errors.New("core: list length bookkeeping out of sync")
 	}
-	if j.active.n+j.inactive.n+j.loss.n != len(j.table) {
+	if j.active.n+j.inactive.n+j.loss.n != j.table.len() {
 		return errors.New("core: lists and table disagree")
 	}
-	if len(j.table) > j.cfg.MaxFlows {
+	if j.table.len() > j.cfg.MaxFlows {
 		return fmt.Errorf("core: table holds %d flows, exceeding MaxFlows %d",
-			len(j.table), j.cfg.MaxFlows)
+			j.table.len(), j.cfg.MaxFlows)
 	}
-	for _, e := range j.table {
-		var want *flowList
-		switch e.phase {
-		case PhaseBuildUp, PhaseActiveMerge:
-			want = &j.active
-		case PhasePostMerge:
-			want = &j.inactive
-		case PhaseLossRecovery:
-			want = &j.loss
+	bytes, pkts, deadlines := 0, 0, 0
+	check := func(l *flowList) error {
+		var lastSeq uint64
+		first := true
+		for e := l.head; e != nil; e = e.next {
+			var want *flowList
+			switch e.phase {
+			case PhaseBuildUp, PhaseActiveMerge:
+				want = &j.active
+			case PhasePostMerge:
+				want = &j.inactive
+			case PhaseLossRecovery:
+				want = &j.loss
+			}
+			if e.list != want {
+				return fmt.Errorf("core: flow %v on the wrong list for phase %v", e.key, e.phase)
+			}
+			if e.phase == PhasePostMerge && !e.ooo.empty() {
+				return fmt.Errorf("core: post-merge flow %v holds packets", e.key)
+			}
+			if e.hash != e.key.Hash(0) {
+				return fmt.Errorf("core: flow %v cached hash is stale", e.key)
+			}
+			if j.table.get(e.hash, e.key) != e {
+				return fmt.Errorf("core: flow %v not reachable in the table", e.key)
+			}
+			if !first && e.listSeq <= lastSeq {
+				return fmt.Errorf("core: flow %v breaks list push ordering", e.key)
+			}
+			first, lastSeq = false, e.listSeq
+			d := j.flowDeadline(e)
+			if e.dl.Queued() != !e.ooo.empty() || e.dl.Deadline() != d {
+				return fmt.Errorf("core: flow %v deadline-queue state is stale", e.key)
+			}
+			if !e.ooo.empty() {
+				deadlines++
+			}
+			bytes += e.ooo.bytes()
+			pkts += e.ooo.pkts()
 		}
-		if e.list != want {
-			return fmt.Errorf("core: flow %v on the wrong list for phase %v", e.key, e.phase)
+		return nil
+	}
+	for _, l := range []*flowList{&j.active, &j.inactive, &j.loss} {
+		if err := check(l); err != nil {
+			return err
 		}
-		if e.phase == PhasePostMerge && !e.ooo.empty() {
-			return fmt.Errorf("core: post-merge flow %v holds packets", e.key)
-		}
+	}
+	if bytes != j.buffered || pkts != j.bufferedPkts {
+		return fmt.Errorf("core: incremental accounting (%dB/%dp) disagrees with recount (%dB/%dp)",
+			j.buffered, j.bufferedPkts, bytes, pkts)
+	}
+	if j.dq.Len() != deadlines {
+		return fmt.Errorf("core: deadline queue holds %d flows, want %d", j.dq.Len(), deadlines)
 	}
 	return nil
 }
@@ -351,14 +461,15 @@ func (j *Juggler) Receive(p *packet.Packet) {
 func (j *Juggler) receive(p *packet.Packet) {
 	j.c.Packets++
 	if p.PassThrough() {
-		j.emit(packet.FromPacket(p))
+		j.emit(j.segPool.FromPacket(p))
 		return
 	}
 
-	e, ok := j.table[p.Flow]
-	if !ok {
+	h := flowHash(p)
+	e := j.table.get(h, p.Flow)
+	if e == nil {
 		// Initial phase (§4.2.1): create the entry, enter build-up.
-		e = j.newFlow(p)
+		e = j.newFlow(p, h)
 		j.bufferAndCheck(e, p)
 		return
 	}
@@ -370,7 +481,7 @@ func (j *Juggler) receive(p *packet.Packet) {
 			if j.cfg.DisableBuildUpLearning {
 				j.Stats.Retransmissions++
 				j.mRetrans.Inc()
-				j.emit(packet.FromPacket(p))
+				j.emit(j.segPool.FromPacket(p))
 				return
 			}
 			e.seqNext = p.Seq
@@ -386,7 +497,7 @@ func (j *Juggler) receive(p *packet.Packet) {
 			j.mRetrans.Inc()
 			j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindRetransmit,
 				Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: "inferred"})
-			j.emit(packet.FromPacket(p))
+			j.emit(j.segPool.FromPacket(p))
 			if e.phase == PhaseLossRecovery && j.fillsHole(e, p) {
 				j.exitLossRecovery(e)
 			}
@@ -395,7 +506,7 @@ func (j *Juggler) receive(p *packet.Packet) {
 		if e.phase == PhasePostMerge {
 			// §4.2.4: reverse transition back to active merging.
 			j.inactive.remove(e)
-			j.active.pushBack(e)
+			j.enlist(&j.active, e)
 			e.phase = PhaseActiveMerge
 		}
 		j.bufferAndCheck(e, p)
@@ -416,30 +527,53 @@ func (j *Juggler) exitLossRecovery(e *flowEntry) {
 		Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-exit"})
 	if e.ooo.empty() {
 		e.phase = PhasePostMerge
-		j.inactive.pushBack(e)
+		j.enlist(&j.inactive, e)
 	} else {
 		e.phase = PhaseActiveMerge
-		j.active.pushBack(e)
+		j.enlist(&j.active, e)
 	}
 }
 
-// newFlow allocates a flow entry (evicting if the table is full), places it
-// on the active list in build-up phase, and records the first packet's
-// sequence number as the initial seq_next estimate.
-func (j *Juggler) newFlow(p *packet.Packet) *flowEntry {
-	if len(j.table) >= j.cfg.MaxFlows {
+// newFlow takes a flow entry from the free list (evicting if the table is
+// full, allocating only when the free list is empty), places it on the
+// active list in build-up phase, and records the first packet's sequence
+// number as the initial seq_next estimate.
+func (j *Juggler) newFlow(p *packet.Packet, hash uint32) *flowEntry {
+	if j.table.len() >= j.cfg.MaxFlows {
 		j.evictOne()
 	}
-	e := &flowEntry{
-		key:            p.Flow,
-		seqNext:        p.Seq,
-		phase:          PhaseBuildUp,
-		flushTimestamp: j.sim.Now(),
-		holdStart:      j.sim.Now(),
+	e := j.freeFlows
+	if e != nil {
+		j.freeFlows = e.next
+		e.next = nil
+	} else {
+		e = &flowEntry{}
+		e.ooo.pool = j.segPool
 	}
-	j.table[p.Flow] = e
-	j.active.pushBack(e)
+	now := j.sim.Now()
+	e.key = p.Flow
+	e.hash = hash
+	e.seqNext = p.Seq
+	e.phase = PhaseBuildUp
+	e.flushTimestamp = now
+	e.holdStart = now
+	j.table.insert(e)
+	j.enlist(&j.active, e)
 	return e
+}
+
+// releaseFlow returns a fully detached entry (off every list, out of the
+// table and deadline queue, queue drained) to the free list. The
+// out-of-order queue's backing arrays and pool binding survive the reset,
+// so the entry's next incarnation buffers without allocating.
+func (j *Juggler) releaseFlow(e *flowEntry) {
+	segs, spare, pool := e.ooo.segs[:0], e.ooo.spare, e.ooo.pool
+	*e = flowEntry{}
+	e.ooo.segs = segs
+	e.ooo.spare = spare
+	e.ooo.pool = pool
+	e.next = j.freeFlows
+	j.freeFlows = e
 }
 
 // bufferAndCheck inserts the packet into the flow's out-of-order queue and
@@ -448,7 +582,10 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 	if e.ooo.empty() {
 		e.holdStart = j.sim.Now()
 	}
+	b0, p0 := e.ooo.bytes(), e.ooo.pkts()
 	res, fastPath := e.ooo.insert(p)
+	j.buffered += e.ooo.bytes() - b0
+	j.bufferedPkts += e.ooo.pkts() - p0
 	if !fastPath {
 		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindBuffer,
 			Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: e.phase.String()})
@@ -459,10 +596,11 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 	if res == insDuplicate {
 		j.Stats.Duplicates++
 		j.mDuplicates.Inc()
-		j.emit(packet.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
+		j.emit(j.segPool.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
 		return
 	}
 	j.eventFlush(e)
+	j.updateDeadline(e)
 	j.maybeArmTimer(e)
 }
 
@@ -490,8 +628,11 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 
 // flushHead delivers the head segment and advances flow state; reason
 // points at the statistic to increment, mirrored by the metric counter.
+// Callers refresh the flow's deadline-queue position afterwards.
 func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter) {
 	seg := e.ooo.popHead()
+	j.buffered -= seg.Bytes
+	j.bufferedPkts -= seg.Pkts
 	*reason++
 	m.Inc()
 	j.emitMerged(seg)
@@ -512,7 +653,7 @@ func (j *Juggler) afterFlush(e *flowEntry) {
 		if e.ooo.empty() {
 			// §4.2.4: queue drained in sequence -> post merge.
 			j.active.remove(e)
-			j.inactive.pushBack(e)
+			j.enlist(&j.inactive, e)
 			e.phase = PhasePostMerge
 		}
 	case PhaseLossRecovery:
@@ -568,6 +709,20 @@ func (j *Juggler) flowDeadline(e *flowEntry) sim.Time {
 	return e.holdStart.Add(j.cfg.OfoTimeout)
 }
 
+// updateDeadline re-files the flow in the deadline queue under its current
+// flowDeadline. Every site that can change a flow's queue head, seq_next
+// or holdStart calls it before returning to the event loop, maintaining
+// the invariant that the queue holds exactly the flows with non-empty
+// out-of-order queues, each at its flowDeadline. A deadline of Time 0 is
+// legal (zero timeouts at the simulation origin: due immediately).
+func (j *Juggler) updateDeadline(e *flowEntry) {
+	if e.ooo.empty() {
+		j.dq.Remove(e)
+		return
+	}
+	j.dq.Update(e, j.flowDeadline(e))
+}
+
 // maybeArmTimer ensures the timer fires no later than the flow's deadline.
 func (j *Juggler) maybeArmTimer(e *flowEntry) {
 	d := j.flowDeadline(e)
@@ -582,9 +737,62 @@ func (j *Juggler) maybeArmTimer(e *flowEntry) {
 	}
 }
 
-// checkTimeouts applies rows 5 and 6 of Table 2 to every flow holding
-// packets, then re-arms the timer for the earliest remaining deadline.
+// checkTimeouts applies rows 5 and 6 of Table 2 to every flow whose
+// deadline has arrived, then re-arms the timer for the earliest remaining
+// deadline. The due flows come from the deadline queue in O(expired);
+// they are then replayed in the reference scan's order — active list
+// before loss list, FIFO (push order) within each — so the emitted
+// segments, statistics and telemetry are bit-identical to the O(flows)
+// scan this replaces (Config.TimeoutScan keeps that scan runnable).
 func (j *Juggler) checkTimeouts() {
+	if j.cfg.TimeoutScan {
+		j.checkTimeoutsScan()
+		return
+	}
+	now := j.sim.Now()
+	due := j.due[:0]
+	j.dq.PopDue(now, func(e *flowEntry) { due = append(due, e) })
+	j.sortDue(due)
+	for _, e := range due {
+		j.expireFlow(e, now)
+	}
+	// Expiry may have left residue (e.g. an in-sequence run flushed but a
+	// hole remains): re-file every touched flow under its new deadline.
+	for i, e := range due {
+		j.updateDeadline(e)
+		due[i] = nil
+	}
+	j.due = due[:0]
+	j.rearm(now, j.dq.MinDeadline())
+}
+
+// sortDue orders the due set exactly as the reference scan would visit it:
+// flows on the active list first, then the loss list, ascending push order
+// within each. The set is tiny in steady state; insertion sort keeps it
+// allocation-free.
+func (j *Juggler) sortDue(due []*flowEntry) {
+	rank := func(e *flowEntry) int {
+		if e.list == &j.loss {
+			return 1
+		}
+		return 0
+	}
+	for i := 1; i < len(due); i++ {
+		e := due[i]
+		re, se := rank(e), e.listSeq
+		k := i
+		for k > 0 && (rank(due[k-1]) > re || (rank(due[k-1]) == re && due[k-1].listSeq > se)) {
+			due[k] = due[k-1]
+			k--
+		}
+		due[k] = e
+	}
+}
+
+// checkTimeoutsScan is the reference expiry: walk every flow on the active
+// and loss lists (Config.TimeoutScan; also the equivalence oracle for the
+// deadline-queue path).
+func (j *Juggler) checkTimeoutsScan() {
 	now := j.sim.Now()
 	var next sim.Time
 
@@ -593,6 +801,7 @@ func (j *Juggler) checkTimeouts() {
 			// The flow may move lists during expiry; capture next first.
 			nxt := e.next
 			j.expireFlow(e, now)
+			j.updateDeadline(e)
 			if d := j.flowDeadline(e); d != 0 && (next == 0 || d < next) {
 				next = d
 			}
@@ -602,13 +811,19 @@ func (j *Juggler) checkTimeouts() {
 	scan(&j.active)
 	scan(&j.loss)
 
-	if next != 0 {
-		if next <= now {
-			next = now + 1 // degenerate zero timeouts: re-fire immediately
-		}
-		if !j.timer.Pending() || next < j.timer.Deadline() {
-			j.timer.ResetAt(next)
-		}
+	j.rearm(now, next)
+}
+
+// rearm schedules the timer for the earliest remaining deadline (0: none).
+func (j *Juggler) rearm(now, next sim.Time) {
+	if next == 0 {
+		return
+	}
+	if next <= now {
+		next = now + 1 // degenerate zero timeouts: re-fire immediately
+	}
+	if !j.timer.Pending() || next < j.timer.Deadline() {
+		j.timer.ResetAt(next)
 	}
 }
 
@@ -646,12 +861,16 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindTimeout,
 		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: "ofo"})
 	firstMissing := e.seqNext
-	for _, seg := range e.ooo.drain() {
+	j.buffered -= e.ooo.bytes()
+	j.bufferedPkts -= e.ooo.pkts()
+	drained := e.ooo.drain()
+	for _, seg := range drained {
 		j.Stats.FlushOfoTimeout++
 		j.mFlushOfo.Inc()
 		j.emitMerged(seg)
 		e.seqNext = packet.SeqMax(e.seqNext, seg.EndSeq())
 	}
+	e.ooo.recycleDrained(drained)
 	e.flushTimestamp = j.sim.Now()
 	e.holdStart = e.flushTimestamp
 
@@ -661,7 +880,7 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	case PhaseBuildUp, PhaseActiveMerge:
 		e.lostSeq = firstMissing
 		j.active.remove(e)
-		j.loss.pushBack(e)
+		j.enlist(&j.loss, e)
 		e.phase = PhaseLossRecovery
 		j.Stats.LossRecoveryEntered++
 		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
@@ -711,28 +930,50 @@ func (j *Juggler) evictOne() {
 	j.evict(victim)
 }
 
-// evict removes the flow and flushes all its packets to higher layers.
+// evict removes the flow, flushes all its packets to higher layers, and
+// recycles the entry through the free list.
 func (j *Juggler) evict(e *flowEntry) {
 	j.mEvictions.Inc()
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
 		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: e.phase.String()})
-	for _, seg := range e.ooo.drain() {
+	j.buffered -= e.ooo.bytes()
+	j.bufferedPkts -= e.ooo.pkts()
+	drained := e.ooo.drain()
+	for _, seg := range drained {
 		j.Stats.FlushEvict++
 		j.mFlushEvict.Inc()
 		j.emitMerged(seg)
 	}
+	e.ooo.recycleDrained(drained)
 	e.list.remove(e)
-	delete(j.table, e.key)
+	j.dq.Remove(e)
+	j.table.delete(e)
+	j.releaseFlow(e)
 }
 
 // Flush forces out all buffered state (used at simulation teardown so
-// byte-conservation checks balance).
+// byte-conservation checks balance). Flows are walked in deterministic
+// list order — active, inactive, loss, FIFO within each — never in table
+// order.
 func (j *Juggler) Flush() {
-	for _, e := range j.table {
-		for _, seg := range e.ooo.drain() {
-			j.emitMerged(seg)
+	flush := func(l *flowList) {
+		for e := l.head; e != nil; e = e.next {
+			if e.ooo.empty() {
+				continue
+			}
+			j.buffered -= e.ooo.bytes()
+			j.bufferedPkts -= e.ooo.pkts()
+			drained := e.ooo.drain()
+			for _, seg := range drained {
+				j.emitMerged(seg)
+			}
+			e.ooo.recycleDrained(drained)
+			j.dq.Remove(e)
 		}
 	}
+	flush(&j.active)
+	flush(&j.inactive)
+	flush(&j.loss)
 }
 
 var _ gro.Offload = (*Juggler)(nil)

@@ -41,7 +41,7 @@ func (h *harness) deliveredSeqs() []uint32 {
 	return out
 }
 
-func (h *harness) entry(ft packet.FiveTuple) *flowEntry { return h.j.table[ft] }
+func (h *harness) entry(ft packet.FiveTuple) *flowEntry { return h.j.table.get(ft.Hash(0), ft) }
 
 func cfgTest() Config {
 	cfg := DefaultConfig()

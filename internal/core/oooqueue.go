@@ -11,12 +11,24 @@ import (
 // segments is semantically identical and keeps adjacent-merge operations
 // O(queue length), which §3.2 argues is small in datacenters.
 //
+// Segments are minted from the simulation's shared packet.SegPool (pool is
+// nil-safe, so a zero oooQueue still works), and the queue's own state is
+// reusable: byte/packet totals are maintained incrementally so bytes() and
+// pkts() are O(1), and drain swaps in a spare backing array so the caller
+// can return the drained one with recycleDrained — steady-state flow churn
+// never reallocates the slice.
+//
 // Invariants (checked by tests):
 //   - segments are strictly ordered by Seq;
 //   - no two segments are mergeable (overlap-free, and any two adjacent
-//     contiguous segments differ in options/CE, sealing, or size budget).
+//     contiguous segments differ in options/CE, sealing, or size budget);
+//   - nbytes/npkts equal the sums over queued segments.
 type oooQueue struct {
-	segs []*packet.Segment
+	segs   []*packet.Segment
+	spare  []*packet.Segment // retired backing array awaiting reuse
+	pool   *packet.SegPool
+	nbytes int
+	npkts  int
 }
 
 // insertResult describes what insert did with a packet.
@@ -48,6 +60,8 @@ func (q *oooQueue) popHead() *packet.Segment {
 	copy(q.segs, q.segs[1:])
 	q.segs[len(q.segs)-1] = nil
 	q.segs = q.segs[:len(q.segs)-1]
+	q.nbytes -= s.Bytes
+	q.npkts -= s.Pkts
 	return s
 }
 
@@ -94,6 +108,8 @@ func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
 		return insDuplicate, false
 	}
 	i := q.findInsertPos(p.Seq)
+	q.nbytes += p.PayloadLen
+	q.npkts++
 
 	// Try appending to the predecessor.
 	if i > 0 && q.segs[i-1].CanAppend(p, units.TSOMaxBytes) {
@@ -115,7 +131,7 @@ func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
 		return insMerged, false
 	}
 	// Standalone segment.
-	seg := packet.FromPacket(p)
+	seg := q.pool.FromPacket(p)
 	q.segs = append(q.segs, nil)
 	copy(q.segs[i+1:], q.segs[i:])
 	q.segs[i] = seg
@@ -123,7 +139,8 @@ func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
 }
 
 // tryMergeAt merges segs[i] with segs[i+1] when they are contiguous and
-// compatible, closing a filled hole.
+// compatible, closing a filled hole. The absorbed segment goes back to the
+// pool — hole churn recycles instead of leaking garbage.
 func (q *oooQueue) tryMergeAt(i int) {
 	if i+1 >= len(q.segs) {
 		return
@@ -149,33 +166,40 @@ func (q *oooQueue) tryMergeAt(i int) {
 	copy(q.segs[i+1:], q.segs[i+2:])
 	q.segs[len(q.segs)-1] = nil
 	q.segs = q.segs[:len(q.segs)-1]
+	q.pool.Put(b)
 }
 
 // minSeq returns the lowest sequence number queued; only valid when
 // non-empty.
 func (q *oooQueue) minSeq() uint32 { return q.segs[0].Seq }
 
-// drain removes and returns all segments in sequence order.
+// drain detaches and returns all segments in sequence order, swapping in
+// the spare backing array so the queue stays usable (and allocation-free)
+// while the caller walks the drained slice. Callers hand the walked slice
+// back through recycleDrained once the segments are emitted.
 func (q *oooQueue) drain() []*packet.Segment {
 	out := q.segs
-	q.segs = nil
+	q.segs = q.spare[:0]
+	q.spare = nil
+	q.nbytes, q.npkts = 0, 0
 	return out
 }
 
-// pkts returns the total packet count queued (for stats).
-func (q *oooQueue) pkts() int {
-	n := 0
-	for _, s := range q.segs {
-		n += s.Pkts
+// recycleDrained returns a slice obtained from drain for reuse. The
+// segments themselves belong to whoever consumed them; only the backing
+// array is retired here.
+func (q *oooQueue) recycleDrained(s []*packet.Segment) {
+	for i := range s {
+		s[i] = nil
 	}
-	return n
+	if cap(s) > cap(q.spare) {
+		q.spare = s[:0]
+	}
 }
 
-// bytes returns the total payload bytes queued.
-func (q *oooQueue) bytes() int {
-	n := 0
-	for _, s := range q.segs {
-		n += s.Bytes
-	}
-	return n
-}
+// pkts returns the total packet count queued — O(1), maintained at
+// insert/pop/drain.
+func (q *oooQueue) pkts() int { return q.npkts }
+
+// bytes returns the total payload bytes queued — O(1).
+func (q *oooQueue) bytes() int { return q.nbytes }

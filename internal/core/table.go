@@ -1,0 +1,104 @@
+package core
+
+import "juggler/internal/packet"
+
+// flowTable is the gro_table index: an open-addressing hash table keyed by
+// the five-tuple hash the NIC RSS stage already computed (packet.FlowHash),
+// with linear probing and backward-shift deletion. It replaces the Go map
+// so the per-packet lookup neither rehashes the 13-byte tuple nor touches
+// map runtime machinery, and so the structure has no hidden iteration
+// order — every traversal of tracked flows goes over the deterministic
+// phase lists instead.
+//
+// Capacity is fixed at construction: MaxFlows bounds occupancy (eviction
+// runs before any insert beyond it), and the slot array is sized to at
+// least twice that, so the load factor never exceeds 1/2 and probe
+// sequences stay short without ever resizing.
+//
+// Each slot carries the occupant's hash next to the pointer: at 100k flows
+// the entries themselves are cold, and filtering probe mismatches on the
+// in-slot hash keeps collision chains from touching them at all.
+type flowSlot struct {
+	hash uint32
+	e    *flowEntry
+}
+
+type flowTable struct {
+	slots []flowSlot
+	mask  uint32
+	n     int
+}
+
+// newFlowTable sizes the table for maxFlows occupants.
+func newFlowTable(maxFlows int) flowTable {
+	capacity := 8
+	for capacity < 2*maxFlows {
+		capacity <<= 1
+	}
+	return flowTable{slots: make([]flowSlot, capacity), mask: uint32(capacity - 1)}
+}
+
+// len returns the number of stored flows.
+func (t *flowTable) len() int { return t.n }
+
+// get returns the entry for (hash, key), or nil. hash must be the key's
+// canonical salt-0 hash.
+func (t *flowTable) get(hash uint32, key packet.FiveTuple) *flowEntry {
+	i := hash & t.mask
+	for {
+		s := t.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.hash == hash && s.e.key == key {
+			return s.e
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert stores e (whose key, hash fields are set). The caller guarantees
+// the key is absent and occupancy stays within the sizing bound.
+func (t *flowTable) insert(e *flowEntry) {
+	if t.n >= len(t.slots)/2 {
+		panic("core: flowTable over its load bound")
+	}
+	i := e.hash & t.mask
+	for t.slots[i].e != nil {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = flowSlot{hash: e.hash, e: e}
+	t.n++
+}
+
+// delete removes e, compacting the probe chain behind it (backward-shift
+// deletion) so lookups never need tombstones.
+func (t *flowTable) delete(e *flowEntry) {
+	i := e.hash & t.mask
+	for t.slots[i].e != e {
+		if t.slots[i].e == nil {
+			panic("core: deleting a flow absent from the table")
+		}
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = flowSlot{}
+	t.n--
+	// Backward shift: any entry later in the probe chain whose ideal slot
+	// does not lie in the (i, j] gap moves back to fill the hole.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		f := t.slots[j]
+		if f.e == nil {
+			return
+		}
+		k := f.hash & t.mask
+		// f may move to i unless its ideal slot k sits cyclically in (i, j].
+		inGap := (j > i && k > i && k <= j) || (j < i && (k > i || k <= j))
+		if !inGap {
+			t.slots[i] = f
+			t.slots[j] = flowSlot{}
+			i = j
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"juggler/internal/packet"
+)
+
+func tblKey(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		SrcIP: uint32(i%7) + 1, DstIP: 2,
+		SrcPort: uint16(i), DstPort: 5001, Proto: packet.ProtoTCP,
+	}
+}
+
+func TestFlowTableBasics(t *testing.T) {
+	tbl := newFlowTable(4) // capacity 8: heavy collisions by construction
+	entries := map[packet.FiveTuple]*flowEntry{}
+	for i := 0; i < 4; i++ {
+		key := tblKey(i)
+		e := &flowEntry{key: key, hash: key.Hash(0)}
+		tbl.insert(e)
+		entries[key] = e
+	}
+	if tbl.len() != 4 {
+		t.Fatalf("len = %d, want 4", tbl.len())
+	}
+	for key, e := range entries {
+		if tbl.get(key.Hash(0), key) != e {
+			t.Fatalf("lookup of %v failed", key)
+		}
+	}
+	if tbl.get(tblKey(99).Hash(0), tblKey(99)) != nil {
+		t.Fatal("absent key found")
+	}
+	// Delete from the middle of probe chains; the survivors must all stay
+	// reachable (backward-shift compaction).
+	tbl.delete(entries[tblKey(1)])
+	delete(entries, tblKey(1))
+	tbl.delete(entries[tblKey(3)])
+	delete(entries, tblKey(3))
+	for key, e := range entries {
+		if tbl.get(key.Hash(0), key) != e {
+			t.Fatalf("lookup of %v failed after deletes", key)
+		}
+	}
+	if tbl.len() != 2 {
+		t.Fatalf("len = %d, want 2", tbl.len())
+	}
+}
+
+func TestFlowTableOverLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("insert beyond the load bound should panic")
+		}
+	}()
+	tbl := newFlowTable(2) // capacity 8, bound 4
+	for i := 0; i < 5; i++ {
+		key := tblKey(i)
+		tbl.insert(&flowEntry{key: key, hash: key.Hash(0)})
+	}
+}
+
+// FuzzFlowTable differentially checks the open-addressing table against a
+// plain Go map under arbitrary insert/delete/lookup interleavings. Keys are
+// drawn from a small space and the table is sized tiny, so probe chains
+// wrap the slot array and deletions constantly compact through collisions —
+// the regimes where backward-shift bugs live.
+func FuzzFlowTable(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 64 + 0, 3, 64 + 2, 0})
+	f.Add([]byte{5, 6, 7, 8, 64 + 5, 64 + 8, 5, 8})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const maxFlows = 8 // capacity 16
+		tbl := newFlowTable(maxFlows)
+		ref := map[packet.FiveTuple]*flowEntry{}
+		for _, op := range program {
+			key := tblKey(int(op % 32))
+			hash := key.Hash(0)
+			switch {
+			case op < 64: // insert (if absent and within the occupancy bound)
+				if ref[key] == nil && len(ref) < maxFlows {
+					e := &flowEntry{key: key, hash: hash}
+					tbl.insert(e)
+					ref[key] = e
+				}
+			case op < 128: // delete (if present)
+				if e := ref[key]; e != nil {
+					tbl.delete(e)
+					delete(ref, key)
+				}
+			}
+			// Every key in the space must agree with the reference map.
+			for i := 0; i < 32; i++ {
+				k := tblKey(i)
+				if got, want := tbl.get(k.Hash(0), k), ref[k]; got != want {
+					t.Fatalf("lookup %v: got %p, want %p", k, got, want)
+				}
+			}
+			if tbl.len() != len(ref) {
+				t.Fatalf("len = %d, want %d", tbl.len(), len(ref))
+			}
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// segRecord captures everything observable about one delivered segment.
+type segRecord struct {
+	at    sim.Time
+	flow  uint16
+	seq   uint32
+	bytes int
+	pkts  int
+	flags packet.Flags
+}
+
+// runTimeoutWorkload drives one Juggler (deadline-queue expiry or the
+// reference scan, per scan) through a reordered, lossy, multi-flow
+// workload and returns the full delivery record plus final state.
+func runTimeoutWorkload(scan bool, inseq, ofo time.Duration) ([]segRecord, Stats, string) {
+	s := sim.New(42)
+	cfg := Config{
+		InseqTimeout: inseq,
+		OfoTimeout:   ofo,
+		MaxFlows:     16, // < flow count: eviction in play too
+		TimeoutScan:  scan,
+	}
+	var recs []segRecord
+	j := New(s, cfg, func(seg *packet.Segment) {
+		recs = append(recs, segRecord{
+			at: s.Now(), flow: seg.Flow.SrcPort, seq: seg.Seq,
+			bytes: seg.Bytes, pkts: seg.Pkts, flags: seg.Flags,
+		})
+	})
+	j.Probe = j.checkInvariants
+
+	// Poll completions at NAPI-ish cadence, like the NIC would issue.
+	sim.NewTicker(s, 10*time.Microsecond, j.PollComplete)
+
+	// 40 flows, 60 packets each: random arrival jitter reorders freely,
+	// ~3% of packets are dropped outright (permanent holes -> ofo expiry,
+	// loss recovery), ~2% are duplicated.
+	rng := s.Rand()
+	for f := 0; f < 40; f++ {
+		flow := packet.FiveTuple{
+			SrcIP: uint32(f%5) + 1, DstIP: 9,
+			SrcPort: uint16(1000 + f), DstPort: 5001, Proto: packet.ProtoTCP,
+		}
+		hash := flow.Hash(0)
+		base := sim.Time(rng.Intn(200)) * sim.Time(time.Microsecond)
+		for i := 0; i < 60; i++ {
+			if rng.Intn(100) < 3 {
+				continue // dropped on the wire
+			}
+			at := base + sim.Time(i)*sim.Time(2*time.Microsecond) +
+				sim.Time(rng.Intn(40))*sim.Time(time.Microsecond)
+			p := packet.Packet{
+				Flow: flow, FlowHash: hash,
+				Seq:        1 + uint32(i)*units.MSS,
+				PayloadLen: units.MSS,
+				Flags:      packet.FlagACK,
+			}
+			if i == 59 {
+				p.Flags |= packet.FlagPSH
+			}
+			n := 1
+			if rng.Intn(100) < 2 {
+				n = 2 // duplicated in flight
+			}
+			for ; n > 0; n-- {
+				q := p
+				s.ScheduleAt(at, func() { j.Receive(&q) })
+				at += sim.Time(time.Microsecond)
+			}
+		}
+	}
+	s.RunFor(5 * time.Millisecond)
+	j.Flush()
+	if err := j.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	state := fmt.Sprintf("active=%d inactive=%d loss=%d table=%d buffered=%d/%d events=%d",
+		j.ActiveLen(), j.InactiveLen(), j.LossLen(), j.TableLen(),
+		j.BufferedBytes(), j.BufferedPkts(), s.Executed)
+	return recs, j.Stats, state
+}
+
+// TestTimeoutWheelMatchesScan sweeps the two timeouts across their τ−τ0
+// regimes (the fig13/fig14 axes, including the degenerate zeros) and
+// requires the deadline-queue expiry to reproduce the reference full-scan
+// expiry exactly: same segments, same order, same delivery instants, same
+// statistics, same final state, same simulator event count.
+func TestTimeoutWheelMatchesScan(t *testing.T) {
+	inseqs := []time.Duration{0, 5 * time.Microsecond, 15 * time.Microsecond}
+	ofos := []time.Duration{0, 25 * time.Microsecond, 50 * time.Microsecond, 200 * time.Microsecond}
+	for _, inseq := range inseqs {
+		for _, ofo := range ofos {
+			name := fmt.Sprintf("inseq=%v_ofo=%v", inseq, ofo)
+			t.Run(name, func(t *testing.T) {
+				wheelRecs, wheelStats, wheelState := runTimeoutWorkload(false, inseq, ofo)
+				scanRecs, scanStats, scanState := runTimeoutWorkload(true, inseq, ofo)
+				if len(wheelRecs) != len(scanRecs) {
+					t.Fatalf("wheel delivered %d segments, scan %d", len(wheelRecs), len(scanRecs))
+				}
+				for i := range wheelRecs {
+					if wheelRecs[i] != scanRecs[i] {
+						t.Fatalf("segment %d differs:\nwheel %+v\nscan  %+v", i, wheelRecs[i], scanRecs[i])
+					}
+				}
+				if wheelStats != scanStats {
+					t.Fatalf("stats differ:\nwheel %+v\nscan  %+v", wheelStats, scanStats)
+				}
+				if wheelState != scanState {
+					t.Fatalf("final state differs:\nwheel %s\nscan  %s", wheelState, scanState)
+				}
+				if wheelStats.FlushInseqTimeout+wheelStats.FlushOfoTimeout == 0 && ofo > 0 && inseq > 0 {
+					t.Fatal("workload exercised no timeout flushes; test is vacuous")
+				}
+			})
+		}
+	}
+}

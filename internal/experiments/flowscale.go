@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/sweep"
+	"juggler/internal/units"
+)
+
+// flowScale exercises the flow-scale datapath: one gro_table tracking
+// 1k/10k/100k concurrent flows, every one of them reordering. Per-flow
+// state at this scale is exactly what the open-addressing table, the
+// entry/segment free lists and the deadline-queue timeout expiry exist
+// for: per-packet work must stay flat as the flow count grows three
+// orders of magnitude (the wall-clock side of that claim is pinned by
+// BenchmarkFlowScale and recorded in BENCH_04.json; this table reports
+// the deterministic behaviour counters).
+//
+// Workload, per flow: a fixed round schedule, one MSS packet per round.
+// ~25% of packets are deferred by two rounds (a 2-interval hole, filled
+// before ofo_timeout: the merge-and-recycle path), and ~2% are dropped
+// outright (permanent holes: ofo expiry, loss recovery). Byte
+// conservation is asserted at teardown.
+func flowScale(o Options) *Table {
+	t := &Table{
+		ID:    "flowscale",
+		Title: "flow-scale datapath: reordered flows at 1k/10k/100k concurrency",
+		Columns: []string{"flows", "pkts", "flush_event", "flush_inseq", "flush_ofo",
+			"ofo_timeouts", "loss_entered", "ooo_work_per_pkt", "active_max", "buffered_KB_max"},
+	}
+	scales := []int{1000, 10000, 100000}
+	rounds := 16
+	if o.Quick {
+		scales = []int{500, 2000, 10000}
+		rounds = 8
+	}
+	const interval = 20 * time.Microsecond
+
+	for _, row := range sweep.Map(o.Workers, len(scales), func(pi int) []string {
+		flows, po := scales[pi], o.point(pi, len(scales))
+		s := po.newSim()
+		pool := packet.SegPoolFromSim(s)
+		cfg := core.Config{
+			InseqTimeout: 15 * time.Microsecond,
+			OfoTimeout:   50 * time.Microsecond,
+			MaxFlows:     flows,
+		}
+		delivered := 0
+		j := core.New(s, cfg, func(seg *packet.Segment) {
+			delivered += seg.Bytes
+			pool.Put(seg)
+		})
+
+		poll := sim.NewTicker(s, 10*time.Microsecond, j.PollComplete)
+		activeMax, bufMax := 0, 0
+		sample := sim.NewTicker(s, 50*time.Microsecond, func() {
+			if n := j.ActiveLen(); n > activeMax {
+				activeMax = n
+			}
+			if b := j.BufferedBytes(); b > bufMax {
+				bufMax = b
+			}
+		})
+		poll.Start()
+		sample.Start()
+
+		rng := s.Rand()
+		sent := 0
+		lateDue := make([]int, flows) // round a deferred packet arrives (0: none)
+		lateSeq := make([]uint32, flows)
+		flowOf := func(f int) packet.FiveTuple {
+			return packet.FiveTuple{
+				SrcIP: uint32(f/65000) + 1, DstIP: 9,
+				SrcPort: uint16(f % 65000), DstPort: 5001, Proto: packet.ProtoTCP,
+			}
+		}
+		send := func(f int, seq uint32, last bool) {
+			ft := flowOf(f)
+			p := packet.Packet{
+				Flow: ft, FlowHash: ft.Hash(0),
+				Seq: 1 + seq*units.MSS, PayloadLen: units.MSS,
+				Flags: packet.FlagACK,
+			}
+			if last {
+				p.Flags |= packet.FlagPSH
+			}
+			sent += p.PayloadLen
+			j.Receive(&p)
+		}
+		for r := 0; r < rounds; r++ {
+			r := r
+			s.Schedule(time.Duration(r)*interval, func() {
+				for f := 0; f < flows; f++ {
+					if lateDue[f] == r+1 { // encoded as round+1 so 0 means none
+						lateDue[f] = 0
+						send(f, lateSeq[f], false)
+					}
+					d := rng.Intn(100)
+					switch {
+					case d < 2 && r < rounds-2:
+						// Dropped: the flow's hole only clears via ofo expiry.
+					case d < 27 && r < rounds-2:
+						lateDue[f] = r + 2 + 1
+						lateSeq[f] = uint32(r)
+					default:
+						send(f, uint32(r), r == rounds-1)
+					}
+				}
+			})
+		}
+		s.RunFor(time.Duration(rounds)*interval + time.Millisecond)
+		poll.Stop()
+		sample.Stop()
+		j.Flush()
+		if delivered != sent {
+			panic(fmt.Sprintf("flowscale: delivered %d of %d bytes", delivered, sent))
+		}
+
+		st := j.Stats
+		c := j.Counters()
+		return []string{fI(int64(flows)), fI(c.Packets), fI(st.FlushEvent),
+			fI(st.FlushInseqTimeout), fI(st.FlushOfoTimeout), fI(st.OfoTimeouts),
+			fI(st.LossRecoveryEntered), fF(float64(c.OOOWork) / float64(c.Packets)),
+			fI(int64(activeMax)), fmt.Sprintf("%d", bufMax/1024)}
+	}) {
+		t.Add(row...)
+	}
+	t.Note("per-packet cost is flat across three orders of magnitude of concurrency: lookup is one open-addressing probe on the NIC-stamped hash, expiry pops only due flows from the deadline queue, and flow/segment churn recycles through free lists (0 steady-state allocs; see BENCH_04.json for the ns/op scaling)")
+	return t
+}
+
+func init() {
+	register("flowscale", "flow-scale datapath at 1k/10k/100k concurrent reordered flows", flowScale)
+}

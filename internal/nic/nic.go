@@ -244,6 +244,10 @@ func (rx *RX) Deliver(p *packet.Packet) {
 	rx.RxPackets++
 	rx.mRxPkts.Inc()
 	rx.tel.CapturePacket(rx.rxIface, true, p)
+	// RSS hashes the tuple exactly once per packet; the canonical salt-0
+	// hash rides on the packet so the offload flow table reuses it instead
+	// of rehashing. pick reuses it too when the salt is unperturbed.
+	p.FlowHash = p.Flow.Hash(0)
 	q := rx.queues[rx.pick(p)]
 	q.ring = append(q.ring, p)
 	if q.polling || q.paused {
@@ -294,6 +298,10 @@ func (rx *RX) Rehash(salt uint32) { rx.cfg.RSSSalt = salt }
 func (rx *RX) pick(p *packet.Packet) int {
 	if rx.cfg.SteerToQueue0 || len(rx.queues) == 1 {
 		return 0
+	}
+	if rx.cfg.RSSSalt == 0 {
+		// Hash(0) is the stamped FlowHash: no second hash pass.
+		return int(p.FlowHash) % len(rx.queues)
 	}
 	return int(p.Flow.Hash(rx.cfg.RSSSalt)) % len(rx.queues)
 }

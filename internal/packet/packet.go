@@ -166,6 +166,13 @@ type Packet struct {
 	// SentAt is the time the packet left the sender NIC (for delay stats).
 	SentAt sim.Time
 
+	// FlowHash is the salt-0 five-tuple hash, stamped once by the NIC RSS
+	// stage on receive so per-flow layers above it (the Juggler gro_table)
+	// never rehash the tuple per packet. Zero means "not stamped";
+	// consumers fall back to computing Flow.Hash(0) themselves, which is
+	// consistent because a stamped hash always equals Flow.Hash(0).
+	FlowHash uint32
+
 	// SACKBlock optionally carries one (start,end) selective-ack range on
 	// ACK packets; zero when absent. Kept minimal: the simplified receiver
 	// reports only the most recent block, which is all the sender's

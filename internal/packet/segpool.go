@@ -1,0 +1,88 @@
+package packet
+
+import "juggler/internal/sim"
+
+// SegPool is a free list of Segment objects for one simulation, the
+// segment-side counterpart of Pool. The offload layer (Juggler's
+// out-of-order queues, the pass-through and duplicate paths) mints every
+// Segment through it; ownership then travels with the segment, and
+// whichever component ends its life returns it — the testbed host after
+// the TCP endpoint consumed it, drop paths immediately, harnesses that
+// drive the core directly from their deliver callback. One Get/Put cycle
+// per delivered segment makes steady-state hole creation allocation-free.
+//
+// All methods are nil-safe: a nil *SegPool degrades to plain heap
+// allocation, so components work unchanged in harnesses that never
+// install a pool.
+//
+// A SegPool is not safe for concurrent use; like everything else hanging
+// off a Sim it belongs to exactly one single-threaded simulation.
+type SegPool struct {
+	free []*Segment
+	// Gets and Reuses count pool traffic for benchmarks: Gets is total
+	// allocations requested, Reuses how many were served from the free list.
+	Gets, Reuses uint64
+}
+
+// Get returns a zeroed Segment, recycled when possible.
+func (pl *SegPool) Get() *Segment {
+	if pl == nil {
+		return &Segment{}
+	}
+	pl.Gets++
+	n := len(pl.free)
+	if n == 0 {
+		return &Segment{}
+	}
+	s := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	pl.Reuses++
+	*s = Segment{}
+	return s
+}
+
+// Put returns s to the free list. Callers must not touch s afterwards.
+// Putting nil (or into a nil pool) is a no-op, so drop paths can recycle
+// unconditionally.
+func (pl *SegPool) Put(s *Segment) {
+	if pl == nil || s == nil {
+		return
+	}
+	pl.free = append(pl.free, s)
+}
+
+// FromPacket builds a single-packet segment from the pool, preserving the
+// fields GRO carries upward — the pooled equivalent of FromPacket.
+func (pl *SegPool) FromPacket(p *Packet) *Segment {
+	s := pl.Get()
+	s.Flow = p.Flow
+	s.Seq = p.Seq
+	s.Bytes = p.PayloadLen
+	s.Pkts = 1
+	s.Flags = p.Flags
+	s.AckSeq = p.AckSeq
+	s.OptSig = p.OptSig
+	s.CE = p.CE
+	s.SACKStart = p.SACKStart
+	s.SACKEnd = p.SACKEnd
+	s.FirstSentAt = p.SentAt
+	s.LastSentAt = p.SentAt
+	return s
+}
+
+// SegPoolFromSim returns the simulation's shared segment pool, creating
+// and installing one in the Sim.SegmentPool slot on first use (mirroring
+// PoolFromSim). A nil Sim yields a nil SegPool, which is valid (see
+// SegPool).
+func SegPoolFromSim(s *sim.Sim) *SegPool {
+	if s == nil {
+		return nil
+	}
+	if pl, ok := s.SegmentPool.(*SegPool); ok {
+		return pl
+	}
+	pl := &SegPool{}
+	s.SegmentPool = pl
+	return pl
+}

@@ -1,0 +1,198 @@
+package sim
+
+// DeadlineItem is the intrusive bookkeeping a DeadlineQueue keeps inside
+// each tracked object: the armed deadline, an arming sequence number that
+// makes ordering among equal deadlines deterministic, and the object's
+// current heap position. Embed one per queue an object can be on and hand
+// the accessor to NewDeadlineQueue. The zero value means "not queued".
+type DeadlineItem struct {
+	at  Time
+	seq uint64
+	// pos is the heap slot plus one; 0 means not queued, so the zero
+	// DeadlineItem is valid.
+	pos int32
+}
+
+// Deadline returns the armed deadline, or 0 when the item is not queued.
+func (it *DeadlineItem) Deadline() Time {
+	if it.pos == 0 {
+		return 0
+	}
+	return it.at
+}
+
+// Queued reports whether the item currently sits in a queue.
+func (it *DeadlineItem) Queued() bool { return it.pos != 0 }
+
+// DeadlineQueue tracks the earliest deadline over a dynamic set of objects
+// — the role the kernel's hrtimer timerqueue (an rbtree keyed on expiry)
+// plays for its timer wheel. It is the facility behind Juggler's O(expired)
+// timeout processing: one Update per deadline change, Min in O(1) for
+// arming the single hardware (sim.Timer) deadline, and PopDue walking only
+// the expired prefix.
+//
+// The implementation is an inlined 4-ary min-heap on (deadline, arming
+// seq), the same shape as the engine's event queue: no interface boxing,
+// backing array reused across churn, so steady-state operation is
+// allocation-free. Ties break FIFO by arming order, keeping every
+// traversal deterministic.
+//
+// DeadlineQueue is generic over the owner type; the item accessor returns
+// the embedded DeadlineItem so the queue can be intrusive without the
+// owner importing anything beyond this package.
+type DeadlineQueue[T any] struct {
+	heap []T
+	item func(T) *DeadlineItem
+	seq  uint64
+}
+
+// NewDeadlineQueue creates an empty queue; item must return the embedded
+// DeadlineItem of an owner (always the same one for the same owner).
+func NewDeadlineQueue[T any](item func(T) *DeadlineItem) *DeadlineQueue[T] {
+	if item == nil {
+		panic("sim: nil deadline item accessor")
+	}
+	return &DeadlineQueue[T]{item: item}
+}
+
+// Len returns the number of queued owners.
+func (q *DeadlineQueue[T]) Len() int { return len(q.heap) }
+
+// MinDeadline returns the earliest queued deadline, or 0 when empty.
+func (q *DeadlineQueue[T]) MinDeadline() Time {
+	if len(q.heap) == 0 {
+		return 0
+	}
+	return q.item(q.heap[0]).at
+}
+
+// Min returns the owner with the earliest deadline; ok is false when empty.
+func (q *DeadlineQueue[T]) Min() (v T, ok bool) {
+	if len(q.heap) == 0 {
+		return v, false
+	}
+	return q.heap[0], true
+}
+
+// Update arms or moves owner v to deadline at, inserting it when absent.
+// Any Time is a valid deadline, including 0 (already due); disarming is
+// Remove's job. Re-arming at an unchanged deadline is a no-op, so callers
+// can invoke Update unconditionally after any state change.
+func (q *DeadlineQueue[T]) Update(v T, at Time) {
+	it := q.item(v)
+	if it.pos == 0 {
+		q.seq++
+		it.at = at
+		it.seq = q.seq
+		q.heap = append(q.heap, v)
+		it.pos = int32(len(q.heap))
+		q.siftUp(len(q.heap) - 1)
+		return
+	}
+	if it.at == at {
+		return
+	}
+	up := at < it.at
+	it.at = at
+	// A moved deadline keeps its arming seq: the queue orders re-arms of
+	// the same owner consistently without pretending it was re-inserted.
+	if up {
+		q.siftUp(int(it.pos) - 1)
+	} else {
+		q.siftDown(int(it.pos) - 1)
+	}
+}
+
+// Remove takes owner v out of the queue; absent owners are a no-op.
+func (q *DeadlineQueue[T]) Remove(v T) { q.remove(q.item(v)) }
+
+func (q *DeadlineQueue[T]) remove(it *DeadlineItem) {
+	if it.pos == 0 {
+		it.at = 0
+		return
+	}
+	i := int(it.pos) - 1
+	n := len(q.heap) - 1
+	last := q.heap[n]
+	var zero T
+	q.heap[n] = zero
+	q.heap = q.heap[:n]
+	it.pos = 0
+	it.at = 0
+	if i == n {
+		return
+	}
+	q.heap[i] = last
+	q.item(last).pos = int32(i + 1)
+	lit := q.item(last)
+	if i > 0 && q.before(lit, q.item(q.heap[(i-1)>>2])) {
+		q.siftUp(i)
+	} else {
+		q.siftDown(i)
+	}
+}
+
+// PopDue removes every owner whose deadline is <= now and passes it to
+// visit, earliest (then FIFO) first. visit must not mutate the queue.
+func (q *DeadlineQueue[T]) PopDue(now Time, visit func(T)) {
+	for len(q.heap) > 0 {
+		top := q.heap[0]
+		if q.item(top).at > now {
+			return
+		}
+		q.Remove(top)
+		visit(top)
+	}
+}
+
+func (q *DeadlineQueue[T]) before(a, b *DeadlineItem) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (q *DeadlineQueue[T]) siftUp(i int) {
+	h := q.heap
+	v := h[i]
+	it := q.item(v)
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !q.before(it, q.item(h[p])) {
+			break
+		}
+		h[i] = h[p]
+		q.item(h[i]).pos = int32(i + 1)
+		i = p
+	}
+	h[i] = v
+	it.pos = int32(i + 1)
+}
+
+func (q *DeadlineQueue[T]) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	v := h[i]
+	it := q.item(v)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for k := c + 1; k < end; k++ {
+			if q.before(q.item(h[k]), q.item(h[min])) {
+				min = k
+			}
+		}
+		if !q.before(q.item(h[min]), it) {
+			break
+		}
+		h[i] = h[min]
+		q.item(h[i]).pos = int32(i + 1)
+		i = min
+	}
+	h[i] = v
+	it.pos = int32(i + 1)
+}

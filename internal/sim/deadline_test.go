@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type dlOwner struct {
+	id int
+	it DeadlineItem
+}
+
+func dlAccess(o *dlOwner) *DeadlineItem { return &o.it }
+
+func TestDeadlineQueueBasics(t *testing.T) {
+	q := NewDeadlineQueue(dlAccess)
+	if q.Len() != 0 || q.MinDeadline() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	a := &dlOwner{id: 1}
+	b := &dlOwner{id: 2}
+	c := &dlOwner{id: 3}
+	q.Update(a, 30)
+	q.Update(b, 10)
+	q.Update(c, 20)
+	if q.MinDeadline() != 10 {
+		t.Fatalf("min = %v, want 10", q.MinDeadline())
+	}
+	if v, ok := q.Min(); !ok || v != b {
+		t.Fatal("Min should be b")
+	}
+	// Move a to the front.
+	q.Update(a, 5)
+	if v, _ := q.Min(); v != a {
+		t.Fatal("Min should be a after re-arm")
+	}
+	if !a.it.Queued() || a.it.Deadline() != 5 {
+		t.Fatalf("item state: queued=%v deadline=%v", a.it.Queued(), a.it.Deadline())
+	}
+	q.Remove(a)
+	if a.it.Queued() {
+		t.Fatal("removed item still queued")
+	}
+	q.Remove(a) // absent: no-op
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+}
+
+func TestDeadlineQueueZeroDeadlineIsValid(t *testing.T) {
+	// Time 0 is a real (immediately due) deadline, not a removal: the
+	// Juggler files flows at holdStart+timeout, which is 0 at the
+	// simulation origin with zero timeouts.
+	q := NewDeadlineQueue(dlAccess)
+	a := &dlOwner{id: 1}
+	q.Update(a, 0)
+	if !a.it.Queued() || q.Len() != 1 {
+		t.Fatal("zero deadline should insert")
+	}
+	popped := 0
+	q.PopDue(0, func(*dlOwner) { popped++ })
+	if popped != 1 || q.Len() != 0 {
+		t.Fatalf("popped %d, len %d", popped, q.Len())
+	}
+}
+
+func TestDeadlineQueuePopDueOrder(t *testing.T) {
+	q := NewDeadlineQueue(dlAccess)
+	// Ties must pop FIFO by arming order.
+	owners := make([]*dlOwner, 10)
+	for i := range owners {
+		owners[i] = &dlOwner{id: i}
+		q.Update(owners[i], Time(100+(i%3)*10)) // deadlines 100,110,120 interleaved
+	}
+	var got []int
+	q.PopDue(115, func(o *dlOwner) { got = append(got, o.id) })
+	want := []int{0, 3, 6, 9, 1, 4, 7} // all at 100 (FIFO), then all at 110
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (the 120s)", q.Len())
+	}
+}
+
+// TestDeadlineQueueRandomized drives the queue against a brute-force
+// reference model through thousands of random update/remove/pop steps.
+func TestDeadlineQueueRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewDeadlineQueue(dlAccess)
+	const n = 64
+	owners := make([]*dlOwner, n)
+	ref := map[int]Time{} // id -> deadline for queued owners
+	for i := range owners {
+		owners[i] = &dlOwner{id: i}
+	}
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // update
+			o := owners[rng.Intn(n)]
+			at := Time(rng.Intn(1000))
+			q.Update(o, at)
+			ref[o.id] = at
+		case 6, 7: // remove
+			o := owners[rng.Intn(n)]
+			q.Remove(o)
+			delete(ref, o.id)
+		case 8: // pop a due prefix
+			now := Time(rng.Intn(1000))
+			var popped []int
+			q.PopDue(now, func(o *dlOwner) { popped = append(popped, o.id) })
+			var want []int
+			for id, at := range ref {
+				if at <= now {
+					want = append(want, id)
+				}
+			}
+			for _, id := range popped {
+				if ref[id] > now {
+					t.Fatalf("step %d: popped id %d with deadline %v > now %v", step, id, ref[id], now)
+				}
+				delete(ref, id)
+			}
+			sort.Ints(popped)
+			sort.Ints(want)
+			if len(popped) != len(want) {
+				t.Fatalf("step %d: popped %d owners, want %d", step, len(popped), len(want))
+			}
+			for i := range want {
+				if popped[i] != want[i] {
+					t.Fatalf("step %d: popped %v, want %v", step, popped, want)
+				}
+			}
+		case 9: // check min
+			min := Time(0)
+			has := false
+			for _, at := range ref {
+				if !has || at < min {
+					min, has = at, true
+				}
+			}
+			if has && len(ref) != q.Len() {
+				t.Fatalf("step %d: len %d, want %d", step, q.Len(), len(ref))
+			}
+			if has && q.MinDeadline() != min {
+				// MinDeadline may legitimately be 0 when the true min is 0.
+				t.Fatalf("step %d: min %v, want %v", step, q.MinDeadline(), min)
+			}
+		}
+		// Spot-check item bookkeeping.
+		o := owners[rng.Intn(n)]
+		_, queued := ref[o.id]
+		if o.it.Queued() != queued {
+			t.Fatalf("step %d: owner %d queued=%v, want %v", step, o.id, o.it.Queued(), queued)
+		}
+	}
+}
+
+// TestDeadlineQueueZeroAllocSteadyState pins the queue's steady-state
+// allocation behaviour: once the backing array has grown, churning
+// update/pop cycles allocates nothing.
+func TestDeadlineQueueZeroAllocSteadyState(t *testing.T) {
+	q := NewDeadlineQueue(dlAccess)
+	owners := make([]*dlOwner, 32)
+	for i := range owners {
+		owners[i] = &dlOwner{id: i}
+	}
+	at := Time(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, o := range owners {
+			q.Update(o, at)
+			at += 3
+		}
+		for _, o := range owners[:16] {
+			q.Update(o, at) // move
+			at += 1
+		}
+		q.PopDue(at, func(*dlOwner) {})
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocates %.1f per cycle, want 0", allocs)
+	}
+}

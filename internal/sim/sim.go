@@ -120,6 +120,11 @@ type Sim struct {
 	// engine stays ignorant of the packet package while every component of
 	// one simulation shares a single recycler.
 	PacketPool any
+
+	// SegmentPool is the per-run segment free-list slot, managed by
+	// packet.SegPoolFromSim: the offload layer mints Segments from it and
+	// the consumer that ends a segment's life returns it.
+	SegmentPool any
 }
 
 // New creates a simulator whose random source is seeded with seed.

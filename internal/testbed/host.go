@@ -126,6 +126,11 @@ type Host struct {
 
 	nextPort uint16
 
+	// segPool recycles segments once the host is done with them: the
+	// offload layer mints every delivered segment; the host, as the last
+	// consumer (drop paths included), is the single return point.
+	segPool *packet.SegPool
+
 	// tel is the run's telemetry sink; nil disables recording.
 	tel                  *telemetry.Sink
 	mSegs, mBacklogDrops *telemetry.Counter
@@ -155,6 +160,7 @@ func NewHost(s *sim.Sim, name string, cfg HostConfig) *Host {
 		receivers: map[packet.FiveTuple]*tcp.Receiver{},
 		senders:   map[packet.FiveTuple]*tcp.Sender{},
 		nextPort:  10000,
+		segPool:   packet.SegPoolFromSim(s),
 	}
 	h.CPU.App.QueueLimit = cfg.AppBacklogLimit
 	if cfg.Conntrack != nil {
@@ -226,6 +232,7 @@ func (h *Host) onSegment(seg *packet.Segment) {
 			h.mConntrackDrops.Inc()
 			h.tel.Event(telemetry.Event{Layer: telemetry.LayerHost, Kind: telemetry.KindDrop,
 				Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Bytes), Note: "conntrack"})
+			h.segPool.Put(seg)
 			return
 		}
 	}
@@ -241,11 +248,19 @@ func (h *Host) onSegment(seg *packet.Segment) {
 		h.mBacklogDrops.Inc()
 		h.tel.Event(telemetry.Event{Layer: telemetry.LayerHost, Kind: telemetry.KindDrop,
 			Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Bytes), Note: "app-backlog"})
+		h.segPool.Put(seg)
 	}
 }
 
-// dispatch routes a serviced segment to its TCP endpoint.
+// dispatch routes a serviced segment to its TCP endpoint, then returns it
+// to the segment pool: the endpoints extract what they need synchronously
+// and never retain the object.
 func (h *Host) dispatch(seg *packet.Segment) {
+	h.route(seg)
+	h.segPool.Put(seg)
+}
+
+func (h *Host) route(seg *packet.Segment) {
 	if seg.Bytes == 0 && seg.Flags.Has(packet.FlagACK) {
 		if snd, ok := h.senders[seg.Flow]; ok {
 			snd.OnAck(seg)
