@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"juggler"
+	"juggler/internal/prof"
 	"juggler/internal/sweep"
 )
 
@@ -42,7 +43,13 @@ func main() {
 	workers := flag.Int("j", 1, "sweep worker goroutines per experiment (0 = one per core); output is identical at any width")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-bench:", err)
+		os.Exit(1)
+	}
+	defer pf.Stop()
 
 	if *list {
 		for _, id := range juggler.Experiments() {

@@ -2,13 +2,15 @@
 // JSON artifact: hot-path micro-benchmark numbers (ns/op, allocs/op for
 // the event engine and the packet pool), the flow-scale datapath's
 // per-packet cost at 1k/10k/100k concurrent reordered flows, its
-// steady-state allocation counts, raw event-loop throughput, and the
+// steady-state allocation counts, the forensics instrumentation overhead
+// (the same loop with no telemetry sink vs a recording one — the nil-sink
+// path is also gated to zero allocations), raw event-loop throughput, and the
 // wall-clock of one experiment sweep run serially vs on -j workers —
 // re-checking on the way that both produce byte-identical tables.
 //
 // Usage:
 //
-//	juggler-benchrec [-o BENCH_04.json] [-sweep fig13] [-quick] [-j 0]
+//	juggler-benchrec [-o BENCH_05.json] [-sweep fig13] [-quick] [-j 0]
 //
 // The committed BENCH_NN.json at the repo root is this command's output;
 // CI regenerates it on every run and uploads it as an artifact. Numbers
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_04.json", "output path ('-' = stdout)")
+	out := flag.String("o", "BENCH_05.json", "output path ('-' = stdout)")
 	sweepID := flag.String("sweep", "fig13", "experiment to time serial vs parallel")
 	quick := flag.Bool("quick", false, "time the quick (~10x smaller) sweep instead of full fidelity")
 	workers := flag.Int("j", 0, "parallel width for the sweep timing (0 = one per core)")

@@ -1,0 +1,384 @@
+// Command juggler-doctor answers "why was this flow slow / flushed /
+// evicted?" It runs a chaos scenario (or replays a recorded run) with the
+// flow-forensics subsystem attached and produces a diagnosis: per-layer
+// latency attribution (which hop of tcp-send → fabric → NIC → softirq →
+// gro_table hold ate the time), the decision audit trail (every Table-2
+// flush with the condition that fired, phase transitions, evictions,
+// inseq/ofo timeouts), and the anomaly watchdog's findings.
+//
+// Usage:
+//
+//	juggler-doctor [-scenario reorder|all] [-stack juggler|vanilla]
+//	               [-intensity F] [-quick] [-seed N] [-j N]
+//	               [-json out.json|-] [-check]
+//	               [-explain "flow=K seq=N"]
+//	juggler-doctor -replay run.txt [-json out.json] [-explain ...]
+//
+// -json writes the machine-readable report ("-" = stdout, suppressing the
+// human report); with -scenario all it holds an array, one object per
+// scenario, diagnosed in catalog order regardless of -j. -check validates
+// the JSON against the embedded copy of diagnosis.schema.json and exits 1
+// on mismatch — the CI smoke job runs it. -explain queries one flow's
+// audit ring for the decisions covering a sequence number:
+//
+//	$ juggler-doctor -scenario storm -explain "flow=0 seq=1460000"
+//
+// Replay mode accepts the textual trace format of juggler-replay,
+// including recorded runs (juggler-trace -record) whose "ev" lines are
+// decoded forward-compatibly: kinds unknown to this build are surfaced in
+// the diagnosis, not dropped.
+//
+// Determinism: everything is computed from virtual-time state, so the same
+// seed produces a byte-identical report at any -j width.
+package main
+
+import (
+	"bytes"
+	_ "embed"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"juggler/internal/core"
+	"juggler/internal/experiments"
+	"juggler/internal/jsonschema"
+	"juggler/internal/packet"
+	"juggler/internal/prof"
+	"juggler/internal/replay"
+	"juggler/internal/sim"
+	"juggler/internal/sweep"
+	"juggler/internal/telemetry"
+	"juggler/internal/testbed"
+)
+
+//go:embed diagnosis.schema.json
+var schemaJSON []byte
+
+func main() {
+	scenario := flag.String("scenario", "reorder", "chaos scenario to diagnose, or 'all' (see -list)")
+	stack := flag.String("stack", "juggler", "receive-offload stack under test: juggler, vanilla or none")
+	intensity := flag.Float64("intensity", 1, "fault intensity multiplier (1.0 = catalog default)")
+	quick := flag.Bool("quick", false, "shrink the transfers (~4x faster)")
+	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical reports)")
+	workers := flag.Int("j", 1, "scenario worker goroutines for -scenario all (0 = one per core); reports are identical at any width")
+	jsonOut := flag.String("json", "", "write the JSON diagnosis here ('-' = stdout, suppressing the human report)")
+	check := flag.Bool("check", false, "validate the JSON diagnosis against the embedded schema; exit 1 on mismatch")
+	explainQ := flag.String("explain", "", `audit-ring provenance query, e.g. "flow=0 seq=292000"`)
+	replayPath := flag.String("replay", "", "diagnose a packet trace / recorded run instead of running a scenario")
+	list := flag.Bool("list", false, "list chaos scenarios and exit")
+	pf := prof.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.ChaosScenarios() {
+			fmt.Printf("  %-10s %s\n", name, experiments.ChaosScenarioDesc(name))
+		}
+		return
+	}
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer pf.Stop()
+
+	var diags []*telemetry.Diagnosis
+	var sinks []*telemetry.Sink
+
+	if *replayPath != "" {
+		sink, diag := diagnoseReplay(*replayPath, *seed)
+		diags, sinks = []*telemetry.Diagnosis{diag}, []*telemetry.Sink{sink}
+	} else {
+		names := []string{*scenario}
+		if *scenario == "all" {
+			names = experiments.ChaosScenarios()
+		}
+		kind, err := stackKind(*stack)
+		if err != nil {
+			fatal(err)
+		}
+		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity, *workers)
+	}
+
+	human := os.Stdout
+	if *jsonOut == "-" {
+		human = nil // JSON owns stdout
+	}
+	if human != nil {
+		for i, d := range diags {
+			if i > 0 {
+				fmt.Fprintln(human)
+			}
+			d.Fprint(human)
+		}
+	}
+
+	if *explainQ != "" {
+		if len(sinks) != 1 {
+			fatal(fmt.Errorf("-explain needs a single scenario (or -replay), not %d runs", len(sinks)))
+		}
+		if human == nil {
+			human = os.Stderr
+		}
+		fmt.Fprintln(human)
+		if err := explain(human, sinks[0], *explainQ); err != nil {
+			fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if *jsonOut != "" || *check {
+		if err := writeJSON(&buf, diags); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if *jsonOut == "-" {
+			os.Stdout.Write(buf.Bytes())
+		} else if err := os.WriteFile(*jsonOut, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *check {
+		if problems := checkSchema(diags); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "juggler-doctor: schema:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "juggler-doctor: %d report(s) conform to diagnosis.schema.json\n", len(diags))
+	}
+}
+
+// diagnoseScenarios runs each named scenario with a forensics sink
+// attached and returns the diagnoses in name order. The sweep runs on
+// -j workers; results are committed by index, so the output is identical
+// at any width.
+func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, quick bool, intensity float64, workers int) ([]*telemetry.Diagnosis, []*telemetry.Sink) {
+	sinks := make([]*telemetry.Sink, len(names))
+	reps := make([]*experiments.ChaosReport, len(names))
+	sweep.Map(sweep.Workers(workers), len(names), func(i int) struct{} {
+		o := experiments.Options{Seed: seed, Quick: quick, Workers: 1}
+		o.AttachTelemetry = func(s *sim.Sim) { sinks[i] = telemetry.New(s, telemetry.Options{}) }
+		rep, err := experiments.RunChaosScenario(names[i], kind, o, intensity)
+		if err != nil {
+			fatal(err)
+		}
+		reps[i] = rep
+		return struct{}{}
+	})
+	diags := make([]*telemetry.Diagnosis, len(names))
+	for i, rep := range reps {
+		d := sinks[i].Diagnose(telemetry.DiagnosisMeta{
+			Scenario: rep.Scenario, Stack: rep.Stack, Seed: rep.Seed, Intensity: rep.Intensity,
+		})
+		// The chaos checker's end-to-end invariants outrank the watchdog:
+		// a violated run is never merely "anomalous".
+		if rep.Failed() {
+			d.Verdict = "invariant-violated"
+		}
+		diags[i] = d
+	}
+	return diags, sinks
+}
+
+// diagnoseReplay feeds a packet trace (possibly a recorded run with "ev"
+// lines) through a standalone Juggler with forensics attached. Arriving
+// packets are stamped at the gro-buffer hop and deliveries at the deliver
+// hop, so the attribution covers the gro_table hold span — the only layer
+// a standalone replay exercises.
+func diagnoseReplay(path string, seed int64) (*telemetry.Sink, *telemetry.Diagnosis) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := replay.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(tr.Packets) == 0 && len(tr.Events) == 0 {
+		fatal(fmt.Errorf("empty trace %s", path))
+	}
+	s := sim.New(seed)
+	sink := telemetry.New(s, telemetry.Options{})
+	if len(tr.Packets) > 0 {
+		j := core.New(s, core.DefaultConfig(), func(seg *packet.Segment) {
+			packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
+			sink.ObserveDelivery(seg)
+		})
+		for _, tp := range tr.Packets {
+			tp := tp
+			s.Schedule(tp.At, func() {
+				packet.Stamp(&tp.Pkt.Stamps, packet.HopGROBuffer, s.Now())
+				j.Receive(&tp.Pkt)
+			})
+		}
+		tick := sim.NewTicker(s, 5*time.Microsecond, j.PollComplete)
+		tick.Start()
+		s.RunFor(tr.Last() + 10*time.Millisecond)
+		tick.Stop()
+	}
+
+	d := sink.Diagnose(telemetry.DiagnosisMeta{Scenario: "replay:" + path, Stack: "juggler", Seed: seed, Intensity: 0})
+	// Surface the recorded run's own events: all kinds tallied, plus a
+	// separate section for kinds this build does not know (forward-
+	// compatible decoding in internal/replay). An events-only recorded run
+	// (juggler-trace -record) has nothing to re-simulate — its decision
+	// provenance is the whole diagnosis.
+	d.RecordedEventKinds = tallyKinds(tr.Events)
+	for kind, n := range tr.UnknownKinds {
+		d.UnknownEventKinds = append(d.UnknownEventKinds, telemetry.CauseCount{Cause: kind, Count: n})
+	}
+	sortCauseCounts(d.UnknownEventKinds)
+	return sink, d
+}
+
+// tallyKinds counts recorded events by kind, ordered by descending count
+// then name so reports are deterministic.
+func tallyKinds(events []replay.Event) []telemetry.CauseCount {
+	if len(events) == 0 {
+		return nil
+	}
+	counts := map[string]int64{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	out := make([]telemetry.CauseCount, 0, len(counts))
+	for kind, n := range counts {
+		out = append(out, telemetry.CauseCount{Cause: kind, Count: n})
+	}
+	sortCauseCounts(out)
+	return out
+}
+
+// sortCauseCounts orders by descending count, then name.
+func sortCauseCounts(cc []telemetry.CauseCount) {
+	sort.Slice(cc, func(a, b int) bool {
+		if cc[a].Count != cc[b].Count {
+			return cc[a].Count > cc[b].Count
+		}
+		return cc[a].Cause < cc[b].Cause
+	})
+}
+
+// explain parses a "flow=K seq=N" query and prints the audit-ring
+// decisions that touched that flow and sequence range.
+func explain(w io.Writer, sink *telemetry.Sink, query string) error {
+	var flowArg string
+	var seq uint64
+	haveFlow, haveSeq := false, false
+	for _, tok := range strings.Fields(query) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("bad -explain token %q (want key=value)", tok)
+		}
+		switch k {
+		case "flow":
+			flowArg, haveFlow = v, true
+		case "seq":
+			n, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad -explain seq %q", v)
+			}
+			seq, haveSeq = n, true
+		default:
+			return fmt.Errorf("unknown -explain key %q (want flow, seq)", k)
+		}
+	}
+	if !haveFlow || !haveSeq {
+		return fmt.Errorf(`-explain wants "flow=K seq=N" (K = flow index or tuple)`)
+	}
+	fx := sink.Forensics
+	var fe *telemetry.FlowForensics
+	if idx, err := strconv.Atoi(flowArg); err == nil {
+		for _, cand := range fx.Flows() {
+			if cand.Index == idx {
+				fe = cand
+				break
+			}
+		}
+	} else {
+		for _, cand := range fx.Flows() {
+			if cand.Flow.String() == flowArg {
+				fe = cand
+				break
+			}
+		}
+	}
+	if fe == nil {
+		return fmt.Errorf("no forensic state for flow %q (%d flows tracked; use the index from the per-flow section)", flowArg, len(fx.Flows()))
+	}
+	matches, _ := fx.Explain(w, fe.Flow, uint32(seq))
+	if matches == 0 {
+		fmt.Fprintf(w, "no retained decision covers seq %d — the ring keeps the most recent %d decisions per flow\n",
+			seq, len(fe.Decisions()))
+	}
+	return nil
+}
+
+// writeJSON renders one diagnosis as an object, several as an array —
+// byte-identical for the same seed at any -j width.
+func writeJSON(w io.Writer, diags []*telemetry.Diagnosis) error {
+	if len(diags) == 1 {
+		return diags[0].WriteJSON(w)
+	}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, d := range diags {
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			return err
+		}
+		s := strings.TrimRight(buf.String(), "\n")
+		if i < len(diags)-1 {
+			s += ","
+		}
+		if _, err := io.WriteString(w, s+"\n"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// checkSchema validates every diagnosis against the embedded schema.
+func checkSchema(diags []*telemetry.Diagnosis) []string {
+	sch, err := jsonschema.Compile(schemaJSON)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var problems []string
+	for i, d := range diags {
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			return []string{err.Error()}
+		}
+		for _, p := range sch.ValidateBytes(buf.Bytes()) {
+			problems = append(problems, fmt.Sprintf("report %d (%s): %s", i, d.Scenario, p))
+		}
+	}
+	return problems
+}
+
+// stackKind parses the -stack flag.
+func stackKind(name string) (testbed.OffloadKind, error) {
+	switch name {
+	case "juggler":
+		return testbed.OffloadJuggler, nil
+	case "vanilla":
+		return testbed.OffloadVanilla, nil
+	case "none":
+		return testbed.OffloadNone, nil
+	}
+	return 0, fmt.Errorf("unknown stack %q (want juggler, vanilla or none)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "juggler-doctor:", err)
+	os.Exit(1)
+}

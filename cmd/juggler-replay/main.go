@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"juggler/internal/core"
@@ -80,6 +81,8 @@ func main() {
 		DisableBuildUpLearning: *noLearn,
 	}
 	j := core.New(s, cfg, func(seg *packet.Segment) {
+		packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
+		tel.ObserveDelivery(seg)
 		fmt.Printf("%12v  DELIVER %-8s seq=%-8d len=%-7d pkts=%-3d %v\n",
 			time.Duration(s.Now()), tr.FlowName(seg.Flow), seg.Seq, seg.Bytes, seg.Pkts, seg.Flags)
 	})
@@ -90,6 +93,7 @@ func main() {
 			fmt.Printf("%12v  arrive  %-8s seq=%-8d len=%-7d %v\n",
 				tp.At, tr.FlowName(tp.Pkt.Flow), tp.Pkt.Seq, tp.Pkt.PayloadLen, tp.Pkt.Flags)
 			tel.CapturePacket(iface, true, &tp.Pkt)
+			packet.Stamp(&tp.Pkt.Stamps, packet.HopGROBuffer, s.Now())
 			j.Receive(&tp.Pkt)
 		})
 	}
@@ -112,6 +116,44 @@ func main() {
 	fmt.Printf("evictions         inactive=%d active=%d loss=%d\n",
 		st.EvictionsInactive, st.EvictionsActive, st.EvictionsLoss)
 	fmt.Printf("buffered now      %d bytes\n", j.BufferedBytes())
+	if f := tel.Forensics; f.Delivered() > 0 {
+		hold := int64(0)
+		if len(f.Slowest()) > 0 {
+			hold = f.Slowest()[0].E2ENs
+		}
+		fmt.Printf("forensics         %d deliveries attributed (worst hold %v); decisions flush=%d phase=%d evict=%d timeout=%d pass=%d; anomalies=%d\n",
+			f.Delivered(), time.Duration(hold),
+			f.OpTotal(telemetry.OpFlush), f.OpTotal(telemetry.OpPhase),
+			f.OpTotal(telemetry.OpEvict), f.OpTotal(telemetry.OpTimeout),
+			f.OpTotal(telemetry.OpPass), f.AnomalyTotal())
+	}
+	// Recorded runs (juggler-trace -events output) carry telemetry events;
+	// surface them — including kinds this build does not know, which the
+	// parser preserves instead of silently dropping.
+	if len(tr.Events) > 0 {
+		counts := map[string]int64{}
+		var order []string
+		for _, e := range tr.Events {
+			if counts[e.Kind] == 0 {
+				order = append(order, e.Kind)
+			}
+			counts[e.Kind]++
+		}
+		sort.Strings(order)
+		fmt.Printf("recorded run      %d telemetry events:", len(tr.Events))
+		for _, k := range order {
+			mark := ""
+			if _, known := telemetry.KindByName(k); !known {
+				mark = "?"
+			}
+			fmt.Printf(" %s%s=%d", k, mark, counts[k])
+		}
+		fmt.Println()
+		if len(tr.UnknownKinds) > 0 {
+			fmt.Printf("                  %d event kinds unknown to this build (marked ?), preserved verbatim\n",
+				len(tr.UnknownKinds))
+		}
+	}
 	if *events {
 		fmt.Println("\n-- event trace --")
 		tel.Recorder.Dump(os.Stdout)

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"juggler"
+	"juggler/internal/prof"
 	"juggler/internal/sweep"
 )
 
@@ -79,7 +80,12 @@ func run() error {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceN := flag.Int("trace", 0, "dump the last N Juggler events after each point (0 = off)")
 	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); output is identical at any width")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		return err
+	}
+	defer pf.Stop()
 
 	var kind juggler.Stack
 	switch *stack {

@@ -5,7 +5,9 @@
 //   - a Chrome/Perfetto trace-event JSON timeline (-trace, open in
 //     https://ui.perfetto.dev or chrome://tracing),
 //   - a pcapng packet capture (-pcap, open in Wireshark/tshark),
-//   - a Prometheus text-format metrics snapshot (-metrics).
+//   - a Prometheus text-format metrics snapshot (-metrics),
+//   - a recorded run of replayable "ev" event lines (-record) that
+//     juggler-replay and juggler-doctor can re-ingest.
 //
 // Usage:
 //
@@ -47,6 +49,7 @@ func main() {
 	traceOut := flag.String("trace", "trace.json", "write Perfetto/Chrome trace-event JSON here ('' disables)")
 	pcapOut := flag.String("pcap", "", "write a pcapng packet capture here")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
+	recordOut := flag.String("record", "", "write the recorded run (replayable 'ev' event lines) here")
 	eventCap := flag.Int("events", 1<<16, "flight-recorder capacity (events)")
 	fabricQueues := flag.Bool("fabric-queues", false, "also record per-enqueue fabric occupancy events")
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -96,6 +99,7 @@ func main() {
 		{*traceOut, sink.WriteTrace, "trace-event JSON"},
 		{*pcapOut, sink.WritePcap, "pcapng capture"},
 		{*metricsOut, sink.Metrics.WriteProm, "metrics snapshot"},
+		{*recordOut, rec.WriteEvents, "recorded run"},
 	} {
 		if e.path == "" {
 			continue

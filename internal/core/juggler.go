@@ -271,6 +271,13 @@ type Juggler struct {
 	// point (Receive, PollComplete, the timeout timer). The chaos invariant
 	// checker installs here to audit the gro_table continuously.
 	Probe func()
+
+	// OnDecision, when non-nil, receives every forensic Decision the core
+	// records — flushes with the Table-2 condition that fired, phase
+	// transitions, evictions, timeout firings — with the flow's seq/hole
+	// state captured at that instant. It fires independently of the
+	// telemetry sink, so harnesses can audit decisions without one.
+	OnDecision func(telemetry.Decision)
 }
 
 // New creates a Juggler instance delivering flushed segments to d.
@@ -497,6 +504,8 @@ func (j *Juggler) receive(p *packet.Packet) {
 			j.mRetrans.Inc()
 			j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindRetransmit,
 				Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: "inferred"})
+			j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "retransmission",
+				Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "inferred, flushed unbuffered"})
 			j.emit(j.segPool.FromPacket(p))
 			if e.phase == PhaseLossRecovery && j.fillsHole(e, p) {
 				j.exitLossRecovery(e)
@@ -508,6 +517,8 @@ func (j *Juggler) receive(p *packet.Packet) {
 			j.inactive.remove(e)
 			j.enlist(&j.active, e)
 			e.phase = PhaseActiveMerge
+			j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: telemetry.CausePhaseNewData,
+				Seq: p.Seq, EndSeq: p.Seq, Note: "post-merge>active-merge"})
 		}
 		j.bufferAndCheck(e, p)
 	}
@@ -528,9 +539,13 @@ func (j *Juggler) exitLossRecovery(e *flowEntry) {
 	if e.ooo.empty() {
 		e.phase = PhasePostMerge
 		j.enlist(&j.inactive, e)
+		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
+			Seq: e.seqNext, EndSeq: e.seqNext, Note: "loss-recovery>post-merge"})
 	} else {
 		e.phase = PhaseActiveMerge
 		j.enlist(&j.active, e)
+		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
+			Seq: e.seqNext, EndSeq: e.seqNext, Note: "loss-recovery>active-merge"})
 	}
 }
 
@@ -596,12 +611,52 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 	if res == insDuplicate {
 		j.Stats.Duplicates++
 		j.mDuplicates.Inc()
+		j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "duplicate",
+			Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "range already buffered"})
 		j.emit(j.segPool.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
 		return
 	}
 	j.eventFlush(e)
 	j.updateDeadline(e)
 	j.maybeArmTimer(e)
+}
+
+// Decision causes recorded in the forensics audit ring (constant strings
+// so recording never allocates). The flush causes name the Table-2
+// condition that closed the segment.
+const (
+	CauseSealed   = "sealed"        // row 2: PSH/URG/FIN sealed the head
+	CauseFull     = "full"          // row 3: cannot grow by another MSS
+	CauseBoundary = "boundary"      // row 4: contiguous-but-unmergeable successor
+	CauseInseq    = "inseq_timeout" // row 5
+	CauseOfo      = "ofo_timeout"   // row 6
+	CauseEvict    = "evict"         // table-full eviction drained the flow
+	CauseFinal    = "final"         // teardown Flush()
+)
+
+// decide records one forensic decision through the telemetry sink and the
+// OnDecision hook, filling in the flow's seq/hole/queue state at this
+// instant. Free (one branch) when neither consumer is present.
+func (j *Juggler) decide(e *flowEntry, d telemetry.Decision) {
+	if j.tel == nil && j.OnDecision == nil {
+		return
+	}
+	d.Layer = telemetry.LayerCore
+	if e != nil {
+		d.Flow = e.key
+		d.SeqNext = e.seqNext
+		if head := e.ooo.head(); head != nil && head.Seq != e.seqNext {
+			d.Hole = true
+			d.HoleSeq = e.seqNext
+		}
+		d.QPkts = int64(e.ooo.pkts())
+		d.QBytes = int64(e.ooo.bytes())
+	}
+	j.tel.Decide(d)
+	if j.OnDecision != nil {
+		d.At = j.sim.Now()
+		j.OnDecision(d)
+	}
 }
 
 // eventFlush flushes "closed" in-sequence head segments: a head segment is
@@ -615,30 +670,38 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 		if head == nil || head.Seq != e.seqNext {
 			return
 		}
-		closed := head.Sealed() || head.Bytes+units.MSS > units.TSOMaxBytes
-		if !closed && e.ooo.len() > 1 && e.ooo.segs[1].Seq == head.EndSeq() {
-			closed = true // boundary: successor is contiguous yet unmerged
-		}
-		if !closed {
+		var cause string
+		switch {
+		case head.Sealed():
+			cause = CauseSealed
+		case head.Bytes+units.MSS > units.TSOMaxBytes:
+			cause = CauseFull
+		case e.ooo.len() > 1 && e.ooo.segs[1].Seq == head.EndSeq():
+			cause = CauseBoundary // successor is contiguous yet unmerged
+		default:
 			return
 		}
-		j.flushHead(e, &j.Stats.FlushEvent, j.mFlushEvent)
+		j.flushHead(e, &j.Stats.FlushEvent, j.mFlushEvent, cause)
 	}
 }
 
 // flushHead delivers the head segment and advances flow state; reason
-// points at the statistic to increment, mirrored by the metric counter.
+// points at the statistic to increment, mirrored by the metric counter;
+// cause names the Table-2 condition for the forensics audit ring.
 // Callers refresh the flow's deadline-queue position afterwards.
-func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter) {
+func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter, cause string) {
 	seg := e.ooo.popHead()
+	segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
 	j.buffered -= seg.Bytes
 	j.bufferedPkts -= seg.Pkts
 	*reason++
 	m.Inc()
 	j.emitMerged(seg)
-	e.seqNext = seg.EndSeq()
+	e.seqNext = segEnd
 	e.flushTimestamp = j.sim.Now()
 	e.holdStart = e.flushTimestamp
+	j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: cause,
+		Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 	j.afterFlush(e)
 }
 
@@ -648,6 +711,8 @@ func (j *Juggler) afterFlush(e *flowEntry) {
 	case PhaseBuildUp:
 		// First flush ends build-up (§4.2.2 -> §4.2.3).
 		e.phase = PhaseActiveMerge
+		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "first-flush",
+			Seq: e.seqNext, EndSeq: e.seqNext, Note: "build-up>active-merge"})
 		fallthrough
 	case PhaseActiveMerge:
 		if e.ooo.empty() {
@@ -655,6 +720,8 @@ func (j *Juggler) afterFlush(e *flowEntry) {
 			j.active.remove(e)
 			j.enlist(&j.inactive, e)
 			e.phase = PhasePostMerge
+			j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: telemetry.CausePhaseDrained,
+				Seq: e.seqNext, EndSeq: e.seqNext, Note: "active-merge>post-merge"})
 		}
 	case PhaseLossRecovery:
 		// Stays on the loss list until the hole is filled.
@@ -835,12 +902,15 @@ func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
 	}
 	// Row 5: in-sequence data held longer than inseq_timeout.
 	if head.Seq == e.seqNext && now.Sub(e.holdStart) >= j.cfg.InseqTimeout {
+		j.decide(e, telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseInseq,
+			Seq: head.Seq, EndSeq: head.EndSeq(), N: int64(now.Sub(e.holdStart)),
+			Note: "held ns in N"})
 		for {
 			head = e.ooo.head()
 			if head == nil || head.Seq != e.seqNext {
 				break
 			}
-			j.flushHead(e, &j.Stats.FlushInseqTimeout, j.mFlushInseq)
+			j.flushHead(e, &j.Stats.FlushInseqTimeout, j.mFlushInseq, CauseInseq)
 		}
 	}
 	head = e.ooo.head()
@@ -860,6 +930,9 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	j.mOfoTimeouts.Inc()
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindTimeout,
 		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: "ofo"})
+	j.decide(e, telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseOfo,
+		Seq: e.seqNext, EndSeq: e.seqNext,
+		N: int64(j.sim.Now().Sub(e.holdStart)), Note: "held ns in N, queue drains"})
 	firstMissing := e.seqNext
 	j.buffered -= e.ooo.bytes()
 	j.bufferedPkts -= e.ooo.pkts()
@@ -867,8 +940,11 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	for _, seg := range drained {
 		j.Stats.FlushOfoTimeout++
 		j.mFlushOfo.Inc()
+		segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
 		j.emitMerged(seg)
-		e.seqNext = packet.SeqMax(e.seqNext, seg.EndSeq())
+		e.seqNext = packet.SeqMax(e.seqNext, segEnd)
+		j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseOfo,
+			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 	}
 	e.ooo.recycleDrained(drained)
 	e.flushTimestamp = j.sim.Now()
@@ -878,6 +954,7 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	case PhaseLossRecovery:
 		// Best effort: keep the original first hole.
 	case PhaseBuildUp, PhaseActiveMerge:
+		wasBuildUp := e.phase == PhaseBuildUp
 		e.lostSeq = firstMissing
 		j.active.remove(e)
 		j.enlist(&j.loss, e)
@@ -885,6 +962,12 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 		j.Stats.LossRecoveryEntered++
 		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
 			Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-enter"})
+		note := "active-merge>loss-recovery"
+		if wasBuildUp {
+			note = "build-up>loss-recovery"
+		}
+		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: CauseOfo,
+			Seq: firstMissing, EndSeq: firstMissing, Note: note})
 	case PhasePostMerge:
 		panic("core: ofo expiry with empty queue")
 	}
@@ -936,13 +1019,18 @@ func (j *Juggler) evict(e *flowEntry) {
 	j.mEvictions.Inc()
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
 		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: e.phase.String()})
+	j.decide(e, telemetry.Decision{Op: telemetry.OpEvict, Cause: "table-full",
+		Seq: e.seqNext, EndSeq: e.seqNext, N: int64(e.ooo.pkts()), Note: e.phase.String()})
 	j.buffered -= e.ooo.bytes()
 	j.bufferedPkts -= e.ooo.pkts()
 	drained := e.ooo.drain()
 	for _, seg := range drained {
 		j.Stats.FlushEvict++
 		j.mFlushEvict.Inc()
+		segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
 		j.emitMerged(seg)
+		j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseEvict,
+			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 	}
 	e.ooo.recycleDrained(drained)
 	e.list.remove(e)
@@ -965,7 +1053,10 @@ func (j *Juggler) Flush() {
 			j.bufferedPkts -= e.ooo.pkts()
 			drained := e.ooo.drain()
 			for _, seg := range drained {
+				segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
 				j.emitMerged(seg)
+				j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseFinal,
+					Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 			}
 			e.ooo.recycleDrained(drained)
 			j.dq.Remove(e)

@@ -147,6 +147,11 @@ func (pt *Port) kick() {
 		pt.TxPkts++
 		pt.TxBytes += int64(p.WireLen())
 		pt.mTxPkts.Inc()
+		// First-egress hop stamp: only the first port on the path records
+		// it, so the fabric sojourn spans every later switch hop too.
+		if p.Stamps[packet.HopFabricEgress] == 0 {
+			packet.Stamp(&p.Stamps, packet.HopFabricEgress, pt.sim.Now())
+		}
 		if pt.prop > 0 {
 			pt.sim.Schedule(pt.prop, func() { pt.dst.Deliver(p) })
 		} else {

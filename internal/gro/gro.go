@@ -89,6 +89,10 @@ type Vanilla struct {
 	tel                                                    *telemetry.Sink
 	mFlushControl, mFlushSealed, mFlushRestart, mFlushPoll *telemetry.Counter
 	hMergePkts                                             *telemetry.Histogram
+
+	// OnDecision, when non-nil, receives every flush decision with its
+	// cause — vanilla GRO's half of the forensic decision hook points.
+	OnDecision func(telemetry.Decision)
 }
 
 // Instrument binds the instance to a telemetry sink; the testbed calls it
@@ -167,6 +171,14 @@ func (g *Vanilla) flushFlow(ft packet.FiveTuple, note string, m *telemetry.Count
 	m.Inc()
 	g.tel.Event(telemetry.Event{Layer: telemetry.LayerGRO, Kind: telemetry.KindFlush,
 		Flow: ft, Seq: seg.Seq, N: int64(seg.Pkts), Note: note})
+	if g.tel != nil || g.OnDecision != nil {
+		d := telemetry.Decision{Layer: telemetry.LayerGRO, Op: telemetry.OpFlush,
+			Cause: note, Flow: ft, Seq: seg.Seq, EndSeq: seg.EndSeq(), N: int64(seg.Pkts)}
+		g.tel.Decide(d)
+		if g.OnDecision != nil {
+			g.OnDecision(d)
+		}
+	}
 	g.emit(seg)
 }
 

@@ -1,0 +1,175 @@
+// Package jsonschema is a minimal, dependency-free JSON Schema validator
+// covering the subset the juggler-doctor report schema uses: "type"
+// (string or list), "properties", "required", "items", "enum",
+// "additionalProperties" (boolean or subschema), and "minimum". It is not
+// a general implementation — unknown keywords are ignored, as the spec
+// requires — but it is enough to keep the checked-in diagnosis schema and
+// the report structs from drifting apart in CI.
+package jsonschema
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Schema is a compiled (parsed) schema document.
+type Schema struct {
+	root map[string]any
+}
+
+// Compile parses a schema document. The top level must be a JSON object.
+func Compile(data []byte) (*Schema, error) {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("jsonschema: %w", err)
+	}
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("jsonschema: top-level schema must be an object")
+	}
+	return &Schema{root: obj}, nil
+}
+
+// Validate checks a decoded JSON document (the result of json.Unmarshal
+// into any) and returns one message per violation, empty when valid.
+func (s *Schema) Validate(doc any) []string {
+	var errs []string
+	validate(s.root, doc, "$", &errs)
+	return errs
+}
+
+// ValidateBytes decodes raw JSON and validates it.
+func (s *Schema) ValidateBytes(data []byte) []string {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return []string{fmt.Sprintf("$: not valid JSON: %v", err)}
+	}
+	return s.Validate(v)
+}
+
+func validate(sch map[string]any, doc any, path string, errs *[]string) {
+	if t, ok := sch["type"]; ok {
+		if !typeMatches(t, doc) {
+			*errs = append(*errs, fmt.Sprintf("%s: want type %v, got %s", path, t, typeName(doc)))
+			return // further keyword checks would only cascade
+		}
+	}
+	if enum, ok := sch["enum"].([]any); ok {
+		found := false
+		for _, e := range enum {
+			if reflect.DeepEqual(e, doc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			*errs = append(*errs, fmt.Sprintf("%s: %v not in enum %v", path, doc, enum))
+		}
+	}
+	if min, ok := sch["minimum"].(float64); ok {
+		if n, isNum := doc.(float64); isNum && n < min {
+			*errs = append(*errs, fmt.Sprintf("%s: %v below minimum %v", path, n, min))
+		}
+	}
+
+	switch v := doc.(type) {
+	case map[string]any:
+		props, _ := sch["properties"].(map[string]any)
+		if req, ok := sch["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := v[name]; !present {
+					*errs = append(*errs, fmt.Sprintf("%s: missing required property %q", path, name))
+				}
+			}
+		}
+		// Walk properties in sorted key order so messages are deterministic.
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub, known := props[k].(map[string]any)
+			if known {
+				validate(sub, v[k], path+"."+k, errs)
+				continue
+			}
+			switch ap := sch["additionalProperties"].(type) {
+			case bool:
+				if !ap {
+					*errs = append(*errs, fmt.Sprintf("%s: unexpected property %q", path, k))
+				}
+			case map[string]any:
+				validate(ap, v[k], path+"."+k, errs)
+			}
+		}
+	case []any:
+		if items, ok := sch["items"].(map[string]any); ok {
+			for i, e := range v {
+				validate(items, e, fmt.Sprintf("%s[%d]", path, i), errs)
+			}
+		}
+	}
+}
+
+// typeMatches implements the "type" keyword against Go's json.Unmarshal
+// value mapping (numbers are float64; "integer" additionally requires an
+// integral value).
+func typeMatches(want any, doc any) bool {
+	switch w := want.(type) {
+	case string:
+		switch w {
+		case "object":
+			_, ok := doc.(map[string]any)
+			return ok
+		case "array":
+			_, ok := doc.([]any)
+			return ok
+		case "string":
+			_, ok := doc.(string)
+			return ok
+		case "number":
+			_, ok := doc.(float64)
+			return ok
+		case "integer":
+			n, ok := doc.(float64)
+			return ok && n == float64(int64(n))
+		case "boolean":
+			_, ok := doc.(bool)
+			return ok
+		case "null":
+			return doc == nil
+		}
+		return false
+	case []any:
+		for _, t := range w {
+			if typeMatches(t, doc) {
+				return true
+			}
+		}
+		return false
+	}
+	return true // malformed "type" — be permissive, like unknown keywords
+}
+
+// typeName names a decoded value's JSON type for error messages.
+func typeName(doc any) string {
+	switch doc.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", doc)
+}

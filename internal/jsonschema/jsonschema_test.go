@@ -1,0 +1,126 @@
+package jsonschema
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSchema = `{
+	"type": "object",
+	"required": ["tool", "seed", "verdict", "spans"],
+	"additionalProperties": false,
+	"properties": {
+		"tool":    {"type": "string"},
+		"seed":    {"type": "integer", "minimum": 0},
+		"share":   {"type": "number"},
+		"verdict": {"type": "string", "enum": ["clean", "anomalous"]},
+		"note":    {"type": ["string", "null"]},
+		"spans": {
+			"type": "array",
+			"items": {
+				"type": "object",
+				"required": ["span", "ns"],
+				"additionalProperties": false,
+				"properties": {
+					"span": {"type": "string"},
+					"ns":   {"type": "integer"}
+				}
+			}
+		},
+		"extra": {
+			"type": "object",
+			"additionalProperties": {"type": "integer"}
+		}
+	}
+}`
+
+func compile(t *testing.T) *Schema {
+	t.Helper()
+	s, err := Compile([]byte(testSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidDocument(t *testing.T) {
+	s := compile(t)
+	doc := `{
+		"tool": "juggler-doctor", "seed": 1, "share": 99.5, "verdict": "clean",
+		"note": null,
+		"spans": [{"span": "hold", "ns": 120}, {"span": "tx", "ns": 0}],
+		"extra": {"anything": 3}
+	}`
+	if errs := s.ValidateBytes([]byte(doc)); len(errs) != 0 {
+		t.Fatalf("valid document rejected: %v", errs)
+	}
+}
+
+// TestViolations feeds one broken document per supported keyword and
+// checks each yields a violation mentioning the offending path.
+func TestViolations(t *testing.T) {
+	s := compile(t)
+	cases := []struct {
+		name, doc, wantPath string
+	}{
+		{"missing required", `{"tool":"x","seed":1,"verdict":"clean"}`, `missing required property "spans"`},
+		{"wrong type", `{"tool":7,"seed":1,"verdict":"clean","spans":[]}`, `$.tool`},
+		{"non-integral integer", `{"tool":"x","seed":1.5,"verdict":"clean","spans":[]}`, `$.seed`},
+		{"below minimum", `{"tool":"x","seed":-1,"verdict":"clean","spans":[]}`, `below minimum`},
+		{"enum miss", `{"tool":"x","seed":1,"verdict":"broken","spans":[]}`, `not in enum`},
+		{"unexpected property", `{"tool":"x","seed":1,"verdict":"clean","spans":[],"bogus":1}`, `unexpected property "bogus"`},
+		{"bad array element", `{"tool":"x","seed":1,"verdict":"clean","spans":[{"span":"tx","ns":1},{"span":"tx"}]}`, `$.spans[1]`},
+		{"additionalProperties subschema", `{"tool":"x","seed":1,"verdict":"clean","spans":[],"extra":{"k":"v"}}`, `$.extra.k`},
+		{"type list miss", `{"tool":"x","seed":1,"verdict":"clean","spans":[],"note":7}`, `$.note`},
+		{"not json", `{`, `not valid JSON`},
+	}
+	for _, tc := range cases {
+		errs := s.ValidateBytes([]byte(tc.doc))
+		if len(errs) == 0 {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e, tc.wantPath) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no violation mentions %q; got %v", tc.name, tc.wantPath, errs)
+		}
+	}
+}
+
+// TestTypeMismatchDoesNotCascade checks a type failure suppresses the
+// child-keyword checks on that node (one clear message, not a pile).
+func TestTypeMismatchDoesNotCascade(t *testing.T) {
+	s := compile(t)
+	errs := s.ValidateBytes([]byte(`[]`))
+	if len(errs) != 1 || !strings.Contains(errs[0], "want type object") {
+		t.Fatalf("want exactly one type violation, got %v", errs)
+	}
+}
+
+// TestCompileErrors covers the two compile failure modes.
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile([]byte(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Compile([]byte(`[1,2]`)); err == nil {
+		t.Error("non-object top level accepted")
+	}
+}
+
+// TestUnknownKeywordsIgnored: the spec says unknown keywords must not
+// affect validation.
+func TestUnknownKeywordsIgnored(t *testing.T) {
+	s, err := Compile([]byte(`{"type":"string","format":"uuid","$comment":"x","maxLength":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.ValidateBytes([]byte(`"long string"`)); len(errs) != 0 {
+		t.Fatalf("unknown keywords affected validation: %v", errs)
+	}
+}

@@ -248,6 +248,7 @@ func (rx *RX) Deliver(p *packet.Packet) {
 	// hash rides on the packet so the offload flow table reuses it instead
 	// of rehashing. pick reuses it too when the salt is unperturbed.
 	p.FlowHash = p.Flow.Hash(0)
+	packet.Stamp(&p.Stamps, packet.HopNICRx, rx.sim.Now())
 	q := rx.queues[rx.pick(p)]
 	q.ring = append(q.ring, p)
 	if q.polling || q.paused {
@@ -376,6 +377,14 @@ func (q *rxQueue) poll() {
 
 	before := q.offload.Counters()
 	for _, p := range batch {
+		// Hop stamps for forensics: the poll drain and the offload handoff
+		// happen at the same virtual instant (Receive runs synchronously in
+		// the softirq, like the kernel's napi_gro_receive), so both hops
+		// are stamped here and the poll->gro-buffer sojourn is zero by
+		// construction — what varies is nic-rx -> napi-poll (coalescing)
+		// and gro-buffer -> deliver (the offload hold).
+		packet.Stamp(&p.Stamps, packet.HopNAPIPoll, now)
+		packet.Stamp(&p.Stamps, packet.HopGROBuffer, now)
 		q.offload.Receive(p)
 		// The offload layer copies what it keeps into Segments and never
 		// retains the *Packet, so the wire object can be recycled here —

@@ -1,0 +1,58 @@
+package packet
+
+import "juggler/internal/sim"
+
+// Hop indexes the per-packet hop timestamp array. The simulated stack
+// stamps each packet at six fixed points of its receive path — the
+// software analogue of the kernel's skb->tstamp / hardware RX timestamps
+// (see DESIGN.md). Forensics folds the differences between adjacent
+// stamps into per-layer sojourn histograms, so the enum order IS the
+// datapath order: a packet visits the hops strictly left to right.
+type Hop uint8
+
+const (
+	// HopTCPSend: the TCP sender handed the (template) packet to TSO.
+	HopTCPSend Hop = iota
+	// HopFabricEgress: first fabric port finished serializing the packet.
+	// Stamped once (first egress wins) so the fabric span absorbs every
+	// switch queue, impairment and propagation delay on the path.
+	HopFabricEgress
+	// HopNICRx: the receive NIC enqueued the packet on an RX ring.
+	HopNICRx
+	// HopNAPIPoll: the NAPI poll loop drained the packet from the ring.
+	// The NICRx->NAPIPoll sojourn is the interrupt-coalescing delay.
+	HopNAPIPoll
+	// HopGROBuffer: the receive-offload layer (GRO or Juggler) took the
+	// packet; for Juggler this is the instant it entered the sorting
+	// buffer, so the GROBuffer->Deliver sojourn is the buffer hold time.
+	HopGROBuffer
+	// HopDeliver: the host delivered the (merged) segment to TCP/app.
+	HopDeliver
+
+	// NumHops sizes the stamp array.
+	NumHops = int(HopDeliver) + 1
+)
+
+// hopNames are constant so formatting a hop never allocates.
+var hopNames = [NumHops]string{
+	"tcp-send", "fabric-egress", "nic-rx", "napi-poll", "gro-buffer", "deliver",
+}
+
+// String names the hop for reports.
+func (h Hop) String() string {
+	if int(h) < len(hopNames) {
+		return hopNames[h]
+	}
+	return "hop?"
+}
+
+// Stamp records now at hop h. Zero is the "not stamped" sentinel, so a
+// stamp taken exactly at the simulation epoch is nudged to 1ns — a
+// nanosecond of attribution skew instead of a silently dropped hop for
+// traffic injected at t=0.
+func Stamp(st *[NumHops]sim.Time, h Hop, now sim.Time) {
+	if now == 0 {
+		now = 1
+	}
+	st[h] = now
+}

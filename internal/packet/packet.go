@@ -178,6 +178,13 @@ type Packet struct {
 	// reports only the most recent block, which is all the sender's
 	// fast-retransmit heuristic needs.
 	SACKStart, SACKEnd uint32
+
+	// Stamps holds the per-hop timestamps of the forensics layer, indexed
+	// by Hop. Zero means "not stamped" — attribution starts at the first
+	// non-zero stamp, so partially stamped packets (replay injection,
+	// locally generated ACKs) still attribute correctly. Pool recycling
+	// zeroes the whole struct, which resets these for free.
+	Stamps [NumHops]sim.Time
 }
 
 // WireLen returns the packet's size on the wire in IP bytes: headers plus

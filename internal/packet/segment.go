@@ -54,6 +54,13 @@ type Segment struct {
 	// linked-list-merged segment (MergeLinkedList). It is nil for normal
 	// segments, whose payload is the single range [Seq, Seq+Bytes).
 	Ranges []Range
+
+	// Stamps are the hop timestamps of the segment's lead packet — the
+	// packet that opened the merge (FromPacket copies them). Append and
+	// Prepend deliberately leave them alone: forensics attributes one
+	// delivery per segment, pinned to the packet that created it, so per-
+	// layer sojourn sums telescope exactly to end-to-end latency.
+	Stamps [NumHops]sim.Time
 }
 
 // Range is one contiguous payload run inside a linked-list segment.
@@ -90,6 +97,7 @@ func FromPacket(p *Packet) *Segment {
 		Flags: p.Flags, AckSeq: p.AckSeq, OptSig: p.OptSig, CE: p.CE,
 		SACKStart: p.SACKStart, SACKEnd: p.SACKEnd,
 		FirstSentAt: p.SentAt, LastSentAt: p.SentAt,
+		Stamps: p.Stamps,
 	}
 }
 

@@ -68,6 +68,7 @@ func (pl *SegPool) FromPacket(p *Packet) *Segment {
 	s.SACKEnd = p.SACKEnd
 	s.FirstSentAt = p.SentAt
 	s.LastSentAt = p.SentAt
+	s.Stamps = p.Stamps
 	return s
 }
 

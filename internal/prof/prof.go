@@ -1,0 +1,74 @@
+// Package prof is the shared pprof plumbing for the CLIs: it registers the
+// -cpuprofile/-memprofile flags and manages the profile lifecycles, so
+// every command exposes profiling identically with three lines of wiring:
+//
+//	pf := prof.Register(flag.CommandLine)
+//	flag.Parse()
+//	defer pf.Stop()          // after pf.Start() returned nil
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values registered by Register.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// Register adds -cpuprofile and -memprofile to fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return f
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call after flag
+// parsing; pair with Stop.
+func (f *Flags) Start() error {
+	if f.CPUProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPUProfile)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("prof: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile when
+// -memprofile was given. Errors go to stderr — profiling must never turn a
+// successful run into a failing one.
+func (f *Flags) Stop() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		f.cpuFile.Close()
+		f.cpuFile = nil
+	}
+	if f.MemProfile == "" {
+		return
+	}
+	file, err := os.Create(f.MemProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+		return
+	}
+	defer file.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+	}
+}

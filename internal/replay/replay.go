@@ -1,5 +1,5 @@
 // Package replay parses the textual packet-trace format consumed by the
-// juggler-replay and juggler-trace commands.
+// juggler-replay, juggler-trace and juggler-doctor commands.
 //
 // Format: one packet per line,
 //
@@ -9,6 +9,17 @@
 // <seq>/<len> are byte offsets/counts, and [flags] is an optional
 // combination of P (PSH), F (FIN), A (pure ACK, len ignored). Blank lines
 // and lines starting with '#' are skipped.
+//
+// A recorded run (juggler-trace -events) may interleave telemetry event
+// lines:
+//
+//	ev <time> <layer> <kind> <flow> <seq> <n> [note]
+//
+// Event kinds are decoded forward-compatibly: a kind name this build does
+// not know is preserved verbatim (Event.Known=false) and tallied in
+// Trace.UnknownKinds instead of being silently dropped, so a newer
+// recorder's output still replays — with its forensics surfaced — on an
+// older toolchain.
 package replay
 
 import (
@@ -20,6 +31,7 @@ import (
 	"time"
 
 	"juggler/internal/packet"
+	"juggler/internal/telemetry"
 )
 
 // TimedPacket is one parsed trace line.
@@ -28,10 +40,31 @@ type TimedPacket struct {
 	Pkt packet.Packet
 }
 
+// Event is one telemetry event line from a recorded run. Layer and Kind
+// are kept as strings so kinds minted by newer builds survive the round
+// trip; Known reports whether this build's telemetry package recognizes
+// the kind.
+type Event struct {
+	At    time.Duration
+	Layer string
+	Kind  string
+	Flow  string
+	Seq   uint32
+	N     int64
+	Note  string
+	Known bool
+}
+
 // Trace is a parsed packet trace plus the label<->tuple mapping used to
-// render flow names back the way the input spelled them.
+// render flow names back the way the input spelled them, plus any
+// recorded telemetry events.
 type Trace struct {
 	Packets []TimedPacket
+
+	// Events are the recorded run's telemetry events in file order.
+	Events []Event
+	// UnknownKinds tallies event kinds this build does not know.
+	UnknownKinds map[string]int64
 
 	ids   map[string]packet.FiveTuple
 	names map[packet.FiveTuple]string
@@ -52,6 +85,12 @@ func Parse(r io.Reader) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		if fields[0] == "ev" {
+			if err := t.parseEvent(fields, lineNo); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if len(fields) < 4 {
 			return nil, fmt.Errorf("line %d: want <time> <flow> <seq> <len> [flags]", lineNo)
 		}
@@ -88,6 +127,37 @@ func Parse(r io.Reader) (*Trace, error) {
 		t.Packets = append(t.Packets, TimedPacket{At: at, Pkt: p})
 	}
 	return t, sc.Err()
+}
+
+// parseEvent decodes one "ev" line (see the package comment). Unknown
+// kinds are preserved, not rejected.
+func (t *Trace) parseEvent(fields []string, lineNo int) error {
+	if len(fields) < 7 {
+		return fmt.Errorf("line %d: want ev <time> <layer> <kind> <flow> <seq> <n> [note]", lineNo)
+	}
+	at, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return fmt.Errorf("line %d: bad event time %q: %v", lineNo, fields[1], err)
+	}
+	seq, err := strconv.ParseUint(fields[5], 10, 32)
+	if err != nil {
+		return fmt.Errorf("line %d: bad event seq %q", lineNo, fields[5])
+	}
+	n, err := strconv.ParseInt(fields[6], 10, 64)
+	if err != nil {
+		return fmt.Errorf("line %d: bad event n %q", lineNo, fields[6])
+	}
+	e := Event{At: at, Layer: fields[2], Kind: fields[3], Flow: fields[4],
+		Seq: uint32(seq), N: n, Note: strings.Join(fields[7:], " ")}
+	_, e.Known = telemetry.KindByName(e.Kind)
+	if !e.Known {
+		if t.UnknownKinds == nil {
+			t.UnknownKinds = map[string]int64{}
+		}
+		t.UnknownKinds[e.Kind]++
+	}
+	t.Events = append(t.Events, e)
+	return nil
 }
 
 // flowFor maps a label to a synthetic five-tuple, deterministically in

@@ -247,6 +247,7 @@ func (r *Receiver) ack(ce bool) {
 	p.Flow = r.flow.Reverse()
 	p.Flags = packet.FlagACK
 	p.AckSeq = r.rcvNxt
+	packet.Stamp(&p.Stamps, packet.HopTCPSend, r.sim.Now())
 	if ce {
 		p.Flags |= packet.FlagECE
 	}

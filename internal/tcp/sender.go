@@ -309,6 +309,7 @@ func (s *Sender) sendBurst(seq uint32, n int, psh, retrans bool) {
 		Flags:  packet.FlagACK,
 		OptSig: s.cfg.OptSig,
 	}
+	packet.Stamp(&tmpl.Stamps, packet.HopTCPSend, s.sim.Now())
 	if psh {
 		tmpl.Flags |= packet.FlagPSH
 	}

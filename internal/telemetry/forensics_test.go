@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+)
+
+// forensicsSink builds a sink with small forensics bounds so tests can hit
+// rotation and watchdog limits quickly.
+func forensicsSink(o ForensicsOptions) (*sim.Sim, *Sink) {
+	s := sim.New(1)
+	k := New(s, Options{Forensics: o})
+	return s, k
+}
+
+// TestDecisionRingRotation checks the per-flow audit ring keeps the newest
+// RingCap decisions, oldest first, while the totals keep exact count.
+func TestDecisionRingRotation(t *testing.T) {
+	s, k := forensicsSink(ForensicsOptions{RingCap: 4})
+	for i := 0; i < 10; i++ {
+		k.Decide(Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed",
+			Flow: testFlow, Seq: uint32(i * 1460), EndSeq: uint32((i + 1) * 1460)})
+		s.RunFor(time.Microsecond)
+	}
+	fe := k.Forensics.FlowState(testFlow)
+	if fe == nil {
+		t.Fatal("flow untracked")
+	}
+	if fe.Total != 10 || fe.ByOp[OpFlush] != 10 {
+		t.Fatalf("Total=%d ByOp[flush]=%d, want 10/10", fe.Total, fe.ByOp[OpFlush])
+	}
+	decs := fe.Decisions()
+	if len(decs) != 4 {
+		t.Fatalf("ring retained %d decisions, want 4", len(decs))
+	}
+	if decs[0].Seq != 6*1460 || decs[3].Seq != 9*1460 {
+		t.Fatalf("ring kept seqs %d..%d, want %d..%d", decs[0].Seq, decs[3].Seq, 6*1460, 9*1460)
+	}
+	if got := k.Forensics.OpTotal(OpFlush); got != 10 {
+		t.Fatalf("global OpTotal(flush)=%d, want 10", got)
+	}
+	if got := k.Forensics.CauseCount(OpFlush, "sealed"); got != 10 {
+		t.Fatalf("CauseCount(flush,sealed)=%d, want 10", got)
+	}
+}
+
+// TestFlowCapTruncation checks flows beyond FlowCap still count globally
+// but keep no ring, recorded in TruncatedDecisions.
+func TestFlowCapTruncation(t *testing.T) {
+	_, k := forensicsSink(ForensicsOptions{FlowCap: 1})
+	other := testFlow
+	other.SrcPort++
+	k.Decide(Decision{Op: OpFlush, Flow: testFlow})
+	k.Decide(Decision{Op: OpFlush, Flow: other})
+	k.Decide(Decision{Op: OpFlush, Flow: other})
+	f := k.Forensics
+	if f.FlowState(other) != nil {
+		t.Fatal("flow beyond FlowCap should be untracked")
+	}
+	if f.TruncatedDecisions != 2 {
+		t.Fatalf("TruncatedDecisions=%d, want 2", f.TruncatedDecisions)
+	}
+	if f.OpTotal(OpFlush) != 3 {
+		t.Fatalf("global tally %d, want 3 (truncation must not lose counts)", f.OpTotal(OpFlush))
+	}
+}
+
+// TestWatchdogEvictChurn checks the eviction-rate detector fires exactly at
+// the threshold and that a new window resets the count.
+func TestWatchdogEvictChurn(t *testing.T) {
+	s, k := forensicsSink(ForensicsOptions{EvictChurn: 3, Window: time.Millisecond})
+	evict := func() { k.Decide(Decision{Op: OpEvict, Cause: "evict", Flow: testFlow}) }
+	evict()
+	evict()
+	if k.Forensics.AnomalyTotal() != 0 {
+		t.Fatal("anomaly before threshold")
+	}
+	evict()
+	if got := k.Forensics.AnomalyTotal(); got != 1 {
+		t.Fatalf("anomalies=%d after hitting threshold, want 1", got)
+	}
+	a := k.Forensics.Anomalies()[0]
+	if a.Kind != AnomalyEvictChurn || a.Value != 3 || a.Limit != 3 {
+		t.Fatalf("anomaly = %+v, want eviction-churn 3/3", a)
+	}
+	// Next window starts clean: two evictions fire nothing.
+	s.RunFor(2 * time.Millisecond)
+	evict()
+	evict()
+	if got := k.Forensics.AnomalyTotal(); got != 1 {
+		t.Fatalf("anomalies=%d after window reset, want still 1", got)
+	}
+}
+
+// TestWatchdogPhaseFlap checks the flap detector counts abnormal phase
+// transitions only — the drained/new-data breathing of a healthy paced
+// flow is exempt.
+func TestWatchdogPhaseFlap(t *testing.T) {
+	_, k := forensicsSink(ForensicsOptions{PhaseFlaps: 2, Window: time.Millisecond})
+	phase := func(cause string) {
+		k.Decide(Decision{Op: OpPhase, Cause: cause, Flow: testFlow, Note: "a>b"})
+	}
+	for i := 0; i < 8; i++ {
+		phase(CausePhaseDrained)
+		phase(CausePhaseNewData)
+	}
+	if got := k.Forensics.AnomalyTotal(); got != 0 {
+		t.Fatalf("benign breathing raised %d anomalies, want 0", got)
+	}
+	phase("hole-filled")
+	phase("first-flush")
+	if got := k.Forensics.AnomalyTotal(); got != 1 {
+		t.Fatalf("anomalies=%d after 2 abnormal transitions, want 1", got)
+	}
+	if a := k.Forensics.Anomalies()[0]; a.Kind != AnomalyPhaseFlap || !a.HasFlow {
+		t.Fatalf("anomaly = %+v, want flow-pinned phase-flap", a)
+	}
+}
+
+// TestWatchdogOFOInflation checks the queue-occupancy detector fires once
+// per flow, not on every decision above the limit.
+func TestWatchdogOFOInflation(t *testing.T) {
+	_, k := forensicsSink(ForensicsOptions{InflationBytes: 1000})
+	k.Decide(Decision{Op: OpFlush, Flow: testFlow, QBytes: 999})
+	if k.Forensics.AnomalyTotal() != 0 {
+		t.Fatal("anomaly below limit")
+	}
+	k.Decide(Decision{Op: OpFlush, Flow: testFlow, QBytes: 1500})
+	k.Decide(Decision{Op: OpFlush, Flow: testFlow, QBytes: 2000})
+	if got := k.Forensics.AnomalyTotal(); got != 1 {
+		t.Fatalf("anomalies=%d, want 1 (once per flow)", got)
+	}
+	a := k.Forensics.Anomalies()[0]
+	if a.Kind != AnomalyOFOInflation || a.Value != 1500 || a.Limit != 1000 {
+		t.Fatalf("anomaly = %+v, want ofo-inflation 1500/1000", a)
+	}
+}
+
+// stampedSegment builds a delivered segment with one stamp per hop at the
+// given nanosecond offsets (0 = hop missing).
+func stampedSegment(flow packet.FiveTuple, seq uint32, at [packet.NumHops]int64) *packet.Segment {
+	seg := &packet.Segment{Flow: flow, Seq: seq, Bytes: 1460, Pkts: 1}
+	for h := 0; h < packet.NumHops; h++ {
+		if at[h] != 0 {
+			packet.Stamp(&seg.Stamps, packet.Hop(h), sim.Time(at[h]))
+		}
+	}
+	return seg
+}
+
+// TestAttributionSpans checks per-span deltas, the dominant-span account,
+// and that a missing interior stamp folds forward into the next span.
+func TestAttributionSpans(t *testing.T) {
+	_, k := forensicsSink(ForensicsOptions{})
+	f := k.Forensics
+
+	// Fully stamped: tx 10, fabric 20, coalesce 30, softirq 5, hold 100.
+	k.ObserveDelivery(stampedSegment(testFlow, 0, [packet.NumHops]int64{100, 110, 130, 160, 165, 265}))
+	// napi-poll stamp missing: its time folds into the coalesce->gro span.
+	k.ObserveDelivery(stampedSegment(testFlow, 1460, [packet.NumHops]int64{100, 110, 130, 0, 165, 265}))
+
+	if f.Delivered() != 2 {
+		t.Fatalf("delivered=%d, want 2", f.Delivered())
+	}
+	if got := f.e2e.Sum(); got != 330 {
+		t.Fatalf("e2e sum=%d, want 330", got)
+	}
+	wantSpanSum := map[Span]int64{SpanTX: 20, SpanFabric: 40, SpanCoalesce: 30, SpanSoftirq: 40, SpanHold: 200}
+	var total int64
+	for sp, want := range wantSpanSum {
+		if got := f.spanHist[sp].Sum(); got != want {
+			t.Errorf("span %v sum=%d, want %d", sp, got, want)
+		}
+		total += f.spanHist[sp].Sum()
+	}
+	if total != f.e2e.Sum() {
+		t.Errorf("spans sum to %d, e2e %d — telescoping broken", total, f.e2e.Sum())
+	}
+	// Hold (100ns) dominates both deliveries.
+	if got := f.spanDom[SpanHold].Value(); got != 2 {
+		t.Errorf("hold dominant in %d deliveries, want 2", got)
+	}
+}
+
+// TestAttributionPartialStamps checks the degenerate stampings: delivery
+// stamp missing (ignored) and delivery-only (nothing upstream to attribute).
+func TestAttributionPartialStamps(t *testing.T) {
+	_, k := forensicsSink(ForensicsOptions{})
+	k.ObserveDelivery(stampedSegment(testFlow, 0, [packet.NumHops]int64{100, 110, 130, 160, 165, 0}))
+	k.ObserveDelivery(stampedSegment(testFlow, 0, [packet.NumHops]int64{0, 0, 0, 0, 0, 265}))
+	if got := k.Forensics.Delivered(); got != 0 {
+		t.Fatalf("attributed %d un-attributable deliveries, want 0", got)
+	}
+}
+
+// TestSojournSLO checks the per-span latency SLO raises an anomaly naming
+// the offending span.
+func TestSojournSLO(t *testing.T) {
+	var slo [NumSpans]time.Duration
+	slo[SpanHold] = 50 * time.Nanosecond
+	_, k := forensicsSink(ForensicsOptions{SojournSLO: slo})
+	k.ObserveDelivery(stampedSegment(testFlow, 0, [packet.NumHops]int64{100, 110, 130, 160, 165, 265}))
+	f := k.Forensics
+	if f.AnomalyTotal() != 1 {
+		t.Fatalf("anomalies=%d, want 1", f.AnomalyTotal())
+	}
+	a := f.Anomalies()[0]
+	if a.Kind != AnomalySojournSLO || a.Note != "hold" || a.Value != 100 || a.Limit != 50 {
+		t.Fatalf("anomaly = %+v, want sojourn-slo hold 100/50", a)
+	}
+}
+
+// TestSlowestLeaderboard checks the worst-deliveries board is bounded,
+// sorted slowest first, and ties keep the earlier delivery.
+func TestSlowestLeaderboard(t *testing.T) {
+	_, k := forensicsSink(ForensicsOptions{TopK: 3})
+	for i, hold := range []int64{30, 80, 10, 80, 50, 20} {
+		k.ObserveDelivery(stampedSegment(testFlow, uint32(i),
+			[packet.NumHops]int64{0, 0, 0, 0, 100, 100 + hold}))
+	}
+	slow := k.Forensics.Slowest()
+	if len(slow) != 3 {
+		t.Fatalf("leaderboard size %d, want 3", len(slow))
+	}
+	if slow[0].E2ENs != 80 || slow[1].E2ENs != 80 || slow[2].E2ENs != 50 {
+		t.Fatalf("leaderboard e2e %d,%d,%d want 80,80,50",
+			slow[0].E2ENs, slow[1].E2ENs, slow[2].E2ENs)
+	}
+	if slow[0].Seq != 1 || slow[1].Seq != 3 {
+		t.Fatalf("tie order: seqs %d,%d want 1,3 (earlier delivery first)", slow[0].Seq, slow[1].Seq)
+	}
+}
+
+// TestExplain checks the why-query: seq-covering decisions are matched and
+// marked, flow-scoped context rides along, untracked flows report ok=false.
+func TestExplain(t *testing.T) {
+	s, k := forensicsSink(ForensicsOptions{})
+	k.Decide(Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed", Flow: testFlow,
+		Seq: 0, EndSeq: 2920, SeqNext: 2920, N: 2})
+	s.RunFor(time.Microsecond)
+	k.Decide(Decision{Layer: LayerCore, Op: OpPhase, Cause: CausePhaseDrained, Flow: testFlow,
+		Note: "active-merge>post-merge"})
+	s.RunFor(time.Microsecond)
+	k.Decide(Decision{Layer: LayerCore, Op: OpFlush, Cause: "ofo_timeout", Flow: testFlow,
+		Seq: 4380, EndSeq: 5840, Hole: true, HoleSeq: 2920, N: 1})
+
+	var buf bytes.Buffer
+	matches, ok := k.Forensics.Explain(&buf, testFlow, 1460)
+	if !ok || matches != 1 {
+		t.Fatalf("Explain(seq=1460) = %d, %v; want 1 match, ok", matches, ok)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "> ") || !strings.Contains(out, "cause=sealed") {
+		t.Errorf("matched flush not marked in output:\n%s", out)
+	}
+	if !strings.Contains(out, "phase") {
+		t.Errorf("flow-scoped phase context missing:\n%s", out)
+	}
+	if strings.Contains(out, "ofo_timeout") {
+		t.Errorf("unrelated flush for another seq leaked into output:\n%s", out)
+	}
+
+	buf.Reset()
+	if matches, ok = k.Forensics.Explain(&buf, testFlow, 99999); matches != 0 || !ok {
+		t.Fatalf("Explain(uncovered seq) = %d, %v; want 0, ok", matches, ok)
+	}
+	if !strings.Contains(buf.String(), "no retained decision") {
+		t.Errorf("uncovered seq should say so:\n%s", buf.String())
+	}
+
+	other := testFlow
+	other.SrcPort++
+	if _, ok = k.Forensics.Explain(&buf, other, 0); ok {
+		t.Fatal("untracked flow should report ok=false")
+	}
+}
+
+// TestHopStampSentinel checks the zero-time nudge: a stamp at the
+// simulation epoch records 1ns instead of colliding with the "not
+// stamped" sentinel.
+func TestHopStampSentinel(t *testing.T) {
+	var st [packet.NumHops]sim.Time
+	packet.Stamp(&st, packet.HopGROBuffer, 0)
+	if st[packet.HopGROBuffer] != 1 {
+		t.Fatalf("stamp at t=0 recorded %d, want the 1ns nudge", st[packet.HopGROBuffer])
+	}
+	packet.Stamp(&st, packet.HopDeliver, 500)
+	if st[packet.HopDeliver] != 500 {
+		t.Fatalf("stamp at t=500 recorded %d, want 500", st[packet.HopDeliver])
+	}
+}
+
+// TestSegPoolStampReset checks a recycled segment does not leak the
+// previous life's hop stamps — the forensic equivalent of a use-after-free.
+func TestSegPoolStampReset(t *testing.T) {
+	pl := &packet.SegPool{}
+	s := pl.Get()
+	packet.Stamp(&s.Stamps, packet.HopNICRx, 123)
+	pl.Put(s)
+	s2 := pl.Get()
+	for h := 0; h < packet.NumHops; h++ {
+		if s2.Stamps[h] != 0 {
+			t.Fatalf("recycled segment kept stamp %v=%d", packet.Hop(h), s2.Stamps[h])
+		}
+	}
+	// FromPacket must carry the packet's stamps onto the pooled segment.
+	p := &packet.Packet{Flow: testFlow, Seq: 1, PayloadLen: 1460}
+	packet.Stamp(&p.Stamps, packet.HopTCPSend, 7)
+	s3 := pl.FromPacket(p)
+	if s3.Stamps[packet.HopTCPSend] != 7 {
+		t.Fatalf("FromPacket dropped stamps: %v", s3.Stamps)
+	}
+}
+
+// TestForensicsZeroAlloc pins the instrumentation cost contract: with no
+// sink the hot-path hooks are one nil check, and with a sink attached the
+// steady state (flows and metric families already registered) records
+// decisions and deliveries without allocating.
+func TestForensicsZeroAlloc(t *testing.T) {
+	var nilSink *Sink
+	seg := stampedSegment(testFlow, 0, [packet.NumHops]int64{100, 110, 130, 160, 165, 265})
+	d := Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed", Flow: testFlow,
+		Seq: 0, EndSeq: 1460, N: 1}
+
+	if n := testing.AllocsPerRun(200, func() { nilSink.Decide(d) }); n != 0 {
+		t.Errorf("nil-sink Decide: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { nilSink.ObserveDelivery(seg) }); n != 0 {
+		t.Errorf("nil-sink ObserveDelivery: %v allocs/op, want 0", n)
+	}
+	var st [packet.NumHops]sim.Time
+	if n := testing.AllocsPerRun(200, func() { packet.Stamp(&st, packet.HopNICRx, 42) }); n != 0 {
+		t.Errorf("packet.Stamp: %v allocs/op, want 0", n)
+	}
+
+	_, k := forensicsSink(ForensicsOptions{})
+	k.Decide(d)            // warm: flow ring, counters, cause map
+	k.ObserveDelivery(seg) // warm: attribution families, leaderboard
+	if n := testing.AllocsPerRun(200, func() { k.Decide(d) }); n != 0 {
+		t.Errorf("steady-state Decide: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { k.ObserveDelivery(seg) }); n != 0 {
+		t.Errorf("steady-state ObserveDelivery: %v allocs/op, want 0", n)
+	}
+}

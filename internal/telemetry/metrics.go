@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"strings"
 )
 
 // histBuckets is the number of log2 buckets in a Histogram. Bucket 0 holds
@@ -260,6 +261,16 @@ func (r *Registry) HistogramL(name, help, labelKey, labelVal string) *Histogram 
 	return r.family(name, help, typeHistogram, labelKey).get(labelVal).hist
 }
 
+// The text exposition format defines exactly three escapes in label
+// values (backslash, double-quote, newline) and two in HELP text
+// (backslash, newline). Go's %q would additionally emit \t, \xNN and
+// \uNNNN sequences, which Prometheus parsers reject — so escaping is done
+// explicitly (TestPromConformance covers the round trip).
+var (
+	promLabelEsc = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	promHelpEsc  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
+
 // WriteProm writes a Prometheus text-format snapshot. Families appear in
 // registration order, children sorted by label value, so the output is
 // byte-identical across same-seed runs.
@@ -269,7 +280,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	for _, f := range r.families {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
-			f.name, f.help, f.name, f.typ); err != nil {
+			f.name, promHelpEsc.Replace(f.help), f.name, f.typ); err != nil {
 			return err
 		}
 		children := make([]*child, len(f.children))
@@ -280,7 +291,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		for _, c := range children {
 			label := ""
 			if f.labelKey != "" {
-				label = fmt.Sprintf("{%s=%q}", f.labelKey, c.labelVal)
+				label = fmt.Sprintf(`{%s="%s"}`, f.labelKey, promLabelEsc.Replace(c.labelVal))
 			}
 			switch f.typ {
 			case typeCounter:
@@ -306,9 +317,9 @@ func writePromHist(w io.Writer, f *family, c *child, label string) error {
 	// Merge the extra le label into any existing label set.
 	leLabel := func(le string) string {
 		if f.labelKey == "" {
-			return fmt.Sprintf(`{le=%q}`, le)
+			return fmt.Sprintf(`{le="%s"}`, le)
 		}
-		return fmt.Sprintf(`{%s=%q,le=%q}`, f.labelKey, c.labelVal, le)
+		return fmt.Sprintf(`{%s="%s",le="%s"}`, f.labelKey, promLabelEsc.Replace(c.labelVal), le)
 	}
 	cum := int64(0)
 	for i := 0; i < histBuckets; i++ {

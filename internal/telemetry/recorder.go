@@ -88,6 +88,40 @@ func (r *Recorder) Dump(w io.Writer) {
 	}
 }
 
+// WriteEvents exports the retained events as "ev" lines of the recorded-
+// run text format consumed by internal/replay:
+//
+//	ev <time> <layer> <kind> <flow> <seq> <n> [note]
+//
+// Kinds and layers are written as their String() names, so parsers built
+// before a kind existed can still carry it through (forward-compatible
+// decoding). Output is oldest-first and byte-identical across same-seed
+// runs.
+func (r *Recorder) WriteEvents(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# recorded run: %d events retained of %d offered\n",
+		r.Len(), r.Total); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "ev %v %s %s %v %d %d", e.At.Sub(0), e.Layer, e.Kind,
+			e.Flow, e.Seq, e.N); err != nil {
+			return err
+		}
+		if e.Note != "" {
+			if _, err := fmt.Fprintf(w, " %s", e.Note); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Summary aggregates retained events by kind, in kind order ("flush=12
 // buffer=3 ..."), matching the format of the old trace.Ring summary.
 func (r *Recorder) Summary() string {

@@ -128,6 +128,29 @@ func (k Kind) String() string {
 	return "?"
 }
 
+// KindByName maps a kind's String() name back to the Kind. ok is false
+// for names this build does not know — the forward-compatibility contract
+// of the recorded-run format: newer builds may export kinds older parsers
+// preserve as strings instead of dropping.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// LayerByName maps a layer's String() name back to the Layer.
+func LayerByName(name string) (Layer, bool) {
+	for l := Layer(0); l < numLayers; l++ {
+		if l.String() == name {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
 // Event is one recorded occurrence. Note must be a constant (or otherwise
 // pre-existing) string so recording never allocates.
 type Event struct {
@@ -152,6 +175,9 @@ type Options struct {
 	// FabricQueues additionally records a KindEnqueue occupancy event per
 	// fabric enqueue — detailed queue timelines at the price of ring churn.
 	FabricQueues bool
+	// Forensics tunes the flow-forensics subsystem (latency attribution,
+	// decision audit rings, anomaly watchdog); zero takes the defaults.
+	Forensics ForensicsOptions
 }
 
 // Sink is one run's telemetry pipeline: metrics + flight recorder +
@@ -166,6 +192,9 @@ type Sink struct {
 	Recorder *Recorder
 	// Capture is the wire-level packet capture.
 	Capture *Capture
+	// Forensics is the flow-forensics state: per-layer latency
+	// attribution, decision audit rings, anomaly watchdog.
+	Forensics *Forensics
 
 	tracks []string
 }
@@ -187,6 +216,7 @@ func New(s *sim.Sim, o Options) *Sink {
 		Capture:  newCapture(o.PacketCap),
 		tracks:   []string{"events"},
 	}
+	k.Forensics = newForensics(k, o.Forensics)
 	Attach(s, k)
 	return k
 }

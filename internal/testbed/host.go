@@ -254,8 +254,11 @@ func (h *Host) onSegment(seg *packet.Segment) {
 
 // dispatch routes a serviced segment to its TCP endpoint, then returns it
 // to the segment pool: the endpoints extract what they need synchronously
-// and never retain the object.
+// and never retain the object. This is the single delivery point, so it
+// stamps the final hop and feeds the forensics latency attribution.
 func (h *Host) dispatch(seg *packet.Segment) {
+	packet.Stamp(&seg.Stamps, packet.HopDeliver, h.sim.Now())
+	h.tel.ObserveDelivery(seg)
 	h.route(seg)
 	h.segPool.Put(seg)
 }
