@@ -21,6 +21,7 @@ import (
 
 	"juggler"
 	"juggler/internal/prof"
+	"juggler/internal/reasm"
 	"juggler/internal/sweep"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce bit-identical tables)")
 	workers := flag.Int("j", 1, "sweep worker goroutines per experiment (0 = one per core); output is identical at any width")
+	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 	pf := prof.Register(flag.CommandLine)
@@ -50,6 +52,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer pf.Stop()
+	if _, err := reasm.ParseKind(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-bench:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range juggler.Experiments() {
@@ -72,6 +78,7 @@ func main() {
 		start := time.Now()
 		rep := juggler.RunExperimentCfg(id, juggler.RunConfig{
 			Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers),
+			Backend: *backend,
 		})
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "juggler-bench: unknown experiment %q (try -list)\n", id)

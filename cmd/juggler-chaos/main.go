@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"juggler/internal/experiments"
+	"juggler/internal/reasm"
 	"juggler/internal/sweep"
 	"juggler/internal/testbed"
 )
@@ -44,6 +45,7 @@ func run() error {
 	scenario := flag.String("scenario", "all", "comma-separated scenario names, or 'all'")
 	stack := flag.String("stack", "juggler", "receive offload under test: juggler, vanilla, linkedlist, none")
 	intensity := flag.Float64("intensity", 1, "fault-level multiplier over each scenario's default")
+	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	quick := flag.Bool("quick", false, "shrink transfer sizes (~4x faster)")
 	workers := flag.Int("j", 1, "scenario worker goroutines (0 = one per core); output is identical at any width")
 	list := flag.Bool("list", false, "list scenarios and exit")
@@ -68,10 +70,15 @@ func run() error {
 		names = strings.Split(*scenario, ",")
 	}
 
+	bk, err := reasm.ParseKind(*backend)
+	if err != nil {
+		return err
+	}
+
 	// Each scenario is an independent simulation, so they fan out across
 	// workers; rendering into per-scenario buffers and printing by index
 	// keeps the output byte-identical to the serial run.
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Backend: bk}
 	type result struct {
 		out bytes.Buffer
 		bad bool

@@ -39,6 +39,7 @@ import (
 
 	"juggler"
 	"juggler/internal/prof"
+	"juggler/internal/reasm"
 	"juggler/internal/sweep"
 )
 
@@ -75,6 +76,7 @@ func run() error {
 	inseq := flag.Duration("inseq", 0, "Juggler inseq_timeout (0 = rate default)")
 	ofo := flag.Duration("ofo", 0, "Juggler ofo_timeout (0 = 50us default)")
 	maxFlows := flag.Int("maxflows", 64, "Juggler gro_table size")
+	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	flows := flag.Int("flows", 1, "number of concurrent bulk flows")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration (after 50ms warm-up)")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -115,6 +117,10 @@ func run() error {
 		tun.OfoTimeout = *ofo
 	}
 	tun.MaxFlows = *maxFlows
+	if _, err := reasm.ParseKind(*backend); err != nil {
+		return err
+	}
+	tun.Backend = *backend
 
 	cfg := pointConfig{kind: kind, rate: rate, tun: tun, drop: *drop,
 		flows: *flows, dur: *dur, seed: *seed, traceN: *traceN,

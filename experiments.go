@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"juggler/internal/experiments"
+	"juggler/internal/reasm"
 )
 
 // Report is one experiment's regenerated table: the same rows/series the
@@ -57,6 +58,10 @@ type RunConfig struct {
 	// experiment run on this many goroutines (0 or 1 = serial). The report
 	// is byte-identical to the serial run at any width.
 	Workers int
+	// Backend names the reassembly backend Juggler instances use:
+	// "seglist" (default, also ""), "batchsort", "bitmap", or "ring".
+	// Unknown names panic at configuration time.
+	Backend string
 }
 
 // RunExperiment regenerates one table/figure of the paper's evaluation.
@@ -72,8 +77,12 @@ func RunExperimentCfg(id string, cfg RunConfig) *Report {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	bk, err := reasm.ParseKind(cfg.Backend)
+	if err != nil {
+		panic("juggler: " + err.Error())
+	}
 	t := experiments.Run(id, experiments.Options{
-		Seed: cfg.Seed, Quick: cfg.Quick, Workers: cfg.Workers,
+		Seed: cfg.Seed, Quick: cfg.Quick, Workers: cfg.Workers, Backend: bk,
 	})
 	if t == nil {
 		return nil

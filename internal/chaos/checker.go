@@ -31,6 +31,12 @@ const (
 	// InvQuiescence: the event queue failed to drain after traffic stopped —
 	// a timer or rearm loop leaked.
 	InvQuiescence Invariant = "quiescence"
+	// InvSegLeak: the simulation's segment pool has live (minted but never
+	// recycled) segments at quiescence. Every offload mints through the
+	// shared pool and testbed.Host is the single recycle point, so a
+	// non-zero live count means a backend retained a segment it handed out
+	// (or double-recycled one, which shows up negative).
+	InvSegLeak Invariant = "seg-leak"
 )
 
 // Violation is one invariant failure, timestamped in simulation time so a
@@ -238,6 +244,17 @@ func (c *Checker) CheckQuiescence() {
 	if n := c.sim.Pending(); n > 0 {
 		c.violate(InvQuiescence, packet.FiveTuple{},
 			fmt.Sprintf("%d events still pending after traffic stopped", n))
+	}
+}
+
+// CheckSegLeaks asserts the segment pool's live count is zero; call it at
+// quiescence with packet.SegPool.Live(). Live segments at that point have
+// lost their owner: no queue holds them and no future event will recycle
+// them.
+func (c *Checker) CheckSegLeaks(live int64) {
+	if live != 0 {
+		c.violate(InvSegLeak, packet.FiveTuple{},
+			fmt.Sprintf("%d segments minted but never recycled at quiescence", live))
 	}
 }
 

@@ -73,8 +73,12 @@ func TestZeroAllocHoleChurn(t *testing.T) {
 	flow := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 7, DstPort: 5001, Proto: packet.ProtoTCP}
 	hash := flow.Hash(0)
 	seq := uint32(1)
+	// One reusable packet: the datapath hands Receive pool-owned heap
+	// packets, so a per-call stack packet would only measure the test's
+	// own escape through the reasm.Backend interface, not core's behaviour.
+	var p packet.Packet
 	send := func(at uint32, flags packet.Flags) {
-		p := packet.Packet{Flow: flow, FlowHash: hash, Seq: at,
+		p = packet.Packet{Flow: flow, FlowHash: hash, Seq: at,
 			PayloadLen: units.MSS, Flags: packet.FlagACK | flags}
 		j.Receive(&p)
 	}

@@ -139,38 +139,3 @@ func FuzzChaosSegments(f *testing.F) {
 		}
 	})
 }
-
-// FuzzOOOQueue checks the sorted-queue invariants under arbitrary insert
-// orders, including overlapping-by-construction slots.
-func FuzzOOOQueue(f *testing.F) {
-	f.Add([]byte{3, 5, 2, 1, 4})
-	f.Add([]byte{0, 0, 1, 1, 2, 2})
-	f.Fuzz(func(t *testing.T, slots []byte) {
-		var q oooQueue
-		seen := map[byte]bool{}
-		bytes := 0
-		for _, slot := range slots {
-			slot %= 64
-			res, _ := q.insert(&packet.Packet{
-				Flow: testFlow, Seq: 1 + uint32(slot)*units.MSS,
-				PayloadLen: units.MSS, Flags: packet.FlagACK,
-			})
-			if seen[slot] != (res == insDuplicate) {
-				t.Fatalf("slot %d: duplicate detection wrong (seen=%v res=%v)", slot, seen[slot], res)
-			}
-			if !seen[slot] {
-				bytes += units.MSS
-			}
-			seen[slot] = true
-			for i := 1; i < len(q.segs); i++ {
-				a, b := q.segs[i-1], q.segs[i]
-				if !packet.SeqLess(a.Seq, b.Seq) || packet.SeqLess(b.Seq, a.EndSeq()) {
-					t.Fatalf("queue order/overlap violated at %d", i)
-				}
-			}
-		}
-		if q.bytes() != bytes {
-			t.Fatalf("queue holds %d bytes, want %d", q.bytes(), bytes)
-		}
-	})
-}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+var testFlow = packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: packet.ProtoTCP}
+
+func dataPkt(seqMSS int) *packet.Packet {
+	return &packet.Packet{
+		Flow: testFlow, Seq: uint32(seqMSS * units.MSS), PayloadLen: units.MSS,
+		Flags: packet.FlagACK,
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"juggler/internal/gro"
 	"juggler/internal/packet"
+	"juggler/internal/reasm"
 	"juggler/internal/sim"
 	"juggler/internal/telemetry"
 	"juggler/internal/units"
@@ -104,6 +105,13 @@ type Config struct {
 	// Eviction selects the eviction policy (ablation hook).
 	Eviction EvictionPolicy
 
+	// Backend selects the per-flow out-of-order reassembly backend. The
+	// zero value is the paper's sorted, eagerly-merged segment list
+	// (reasm.KindSegList); the rivals exist for the bake-off experiment
+	// and may reject packets they cannot represent, which Juggler then
+	// delivers unbuffered (counted in Stats.ReasmRejected).
+	Backend reasm.Kind
+
 	// TimeoutScan switches timeout expiry back to the reference
 	// implementation that walks every flow on the active and loss lists
 	// (O(flows) per timer fire). The default expiry pops a
@@ -147,6 +155,10 @@ type Stats struct {
 	LossRecoveryEntered, LossRecoveryExited int64
 	// BuildUpBackward counts seq_next backward moves learned in build-up.
 	BuildUpBackward int64
+	// ReasmRejected counts packets the reassembly backend could not
+	// represent (bitmap window misses, ring second holes, ...) and that
+	// were therefore delivered unbuffered. Always zero for seglist.
+	ReasmRejected int64
 }
 
 // flowEntry is the per-flow state of §4.1 plus intrusive list linkage, the
@@ -157,7 +169,7 @@ type Stats struct {
 type flowEntry struct {
 	key            packet.FiveTuple
 	hash           uint32 // key.Hash(0), cached for probing
-	ooo            oooQueue
+	ooo            reasm.Backend
 	flushTimestamp sim.Time
 	// holdStart anchors the timeout clocks: the later of the last flush
 	// and the instant the queue went from empty to non-empty. Using the
@@ -410,7 +422,7 @@ func (j *Juggler) CheckInvariants() error {
 			if e.list != want {
 				return fmt.Errorf("core: flow %v on the wrong list for phase %v", e.key, e.phase)
 			}
-			if e.phase == PhasePostMerge && !e.ooo.empty() {
+			if e.phase == PhasePostMerge && !e.ooo.Empty() {
 				return fmt.Errorf("core: post-merge flow %v holds packets", e.key)
 			}
 			if e.hash != e.key.Hash(0) {
@@ -424,14 +436,14 @@ func (j *Juggler) CheckInvariants() error {
 			}
 			first, lastSeq = false, e.listSeq
 			d := j.flowDeadline(e)
-			if e.dl.Queued() != !e.ooo.empty() || e.dl.Deadline() != d {
+			if e.dl.Queued() != !e.ooo.Empty() || e.dl.Deadline() != d {
 				return fmt.Errorf("core: flow %v deadline-queue state is stale", e.key)
 			}
-			if !e.ooo.empty() {
+			if !e.ooo.Empty() {
 				deadlines++
 			}
-			bytes += e.ooo.bytes()
-			pkts += e.ooo.pkts()
+			bytes += e.ooo.Bytes()
+			pkts += e.ooo.Pkts()
 		}
 		return nil
 	}
@@ -536,7 +548,7 @@ func (j *Juggler) exitLossRecovery(e *flowEntry) {
 	j.Stats.LossRecoveryExited++
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
 		Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-exit"})
-	if e.ooo.empty() {
+	if e.ooo.Empty() {
 		e.phase = PhasePostMerge
 		j.enlist(&j.inactive, e)
 		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
@@ -562,8 +574,7 @@ func (j *Juggler) newFlow(p *packet.Packet, hash uint32) *flowEntry {
 		j.freeFlows = e.next
 		e.next = nil
 	} else {
-		e = &flowEntry{}
-		e.ooo.pool = j.segPool
+		e = &flowEntry{ooo: reasm.New(j.cfg.Backend, j.segPool)}
 	}
 	now := j.sim.Now()
 	e.key = p.Flow
@@ -579,14 +590,14 @@ func (j *Juggler) newFlow(p *packet.Packet, hash uint32) *flowEntry {
 
 // releaseFlow returns a fully detached entry (off every list, out of the
 // table and deadline queue, queue drained) to the free list. The
-// out-of-order queue's backing arrays and pool binding survive the reset,
-// so the entry's next incarnation buffers without allocating.
+// reassembly backend survives the reset with its backing arrays and pool
+// binding intact, so the entry's next incarnation buffers without
+// allocating.
 func (j *Juggler) releaseFlow(e *flowEntry) {
-	segs, spare, pool := e.ooo.segs[:0], e.ooo.spare, e.ooo.pool
+	q := e.ooo
+	q.Reset()
 	*e = flowEntry{}
-	e.ooo.segs = segs
-	e.ooo.spare = spare
-	e.ooo.pool = pool
+	e.ooo = q
 	e.next = j.freeFlows
 	j.freeFlows = e
 }
@@ -594,13 +605,13 @@ func (j *Juggler) releaseFlow(e *flowEntry) {
 // bufferAndCheck inserts the packet into the flow's out-of-order queue and
 // applies the event-driven flush conditions (Table 2, rows 1-4).
 func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
-	if e.ooo.empty() {
+	if e.ooo.Empty() {
 		e.holdStart = j.sim.Now()
 	}
-	b0, p0 := e.ooo.bytes(), e.ooo.pkts()
-	res, fastPath := e.ooo.insert(p)
-	j.buffered += e.ooo.bytes() - b0
-	j.bufferedPkts += e.ooo.pkts() - p0
+	b0, p0 := e.ooo.Bytes(), e.ooo.Pkts()
+	res, fastPath := e.ooo.Insert(p)
+	j.buffered += e.ooo.Bytes() - b0
+	j.bufferedPkts += e.ooo.Pkts() - p0
 	if !fastPath {
 		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindBuffer,
 			Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: e.phase.String()})
@@ -608,13 +619,28 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 		// in-sequence merge standard GRO already performs.
 		j.c.OOOWork++
 	}
-	if res == insDuplicate {
+	if res == reasm.InsDuplicate {
 		j.Stats.Duplicates++
 		j.mDuplicates.Inc()
 		j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "duplicate",
 			Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "range already buffered"})
 		j.emit(j.segPool.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
 		return
+	}
+	if res == reasm.InsRejected {
+		// The backend cannot represent this packet (never happens with
+		// seglist): deliver it unbuffered, like an inferred retransmission.
+		// In-order rejects still advance seq_next — the bytes were
+		// delivered in order, and the queued head may now be flushable.
+		j.Stats.ReasmRejected++
+		j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "reasm-reject",
+			Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "backend refused, flushed unbuffered"})
+		j.emit(j.segPool.FromPacket(p))
+		if p.Seq == e.seqNext {
+			e.seqNext = p.EndSeq()
+			e.flushTimestamp = j.sim.Now()
+			e.holdStart = e.flushTimestamp
+		}
 	}
 	j.eventFlush(e)
 	j.updateDeadline(e)
@@ -645,12 +671,12 @@ func (j *Juggler) decide(e *flowEntry, d telemetry.Decision) {
 	if e != nil {
 		d.Flow = e.key
 		d.SeqNext = e.seqNext
-		if head := e.ooo.head(); head != nil && head.Seq != e.seqNext {
+		if head := e.ooo.Head(); head != nil && head.Seq != e.seqNext {
 			d.Hole = true
 			d.HoleSeq = e.seqNext
 		}
-		d.QPkts = int64(e.ooo.pkts())
-		d.QBytes = int64(e.ooo.bytes())
+		d.QPkts = int64(e.ooo.Pkts())
+		d.QBytes = int64(e.ooo.Bytes())
 	}
 	j.tel.Decide(d)
 	if j.OnDecision != nil {
@@ -666,7 +692,7 @@ func (j *Juggler) decide(e *flowEntry, d telemetry.Decision) {
 // 2-4). The final open segment is left to accumulate until a timeout.
 func (j *Juggler) eventFlush(e *flowEntry) {
 	for {
-		head := e.ooo.head()
+		head := e.ooo.Head()
 		if head == nil || head.Seq != e.seqNext {
 			return
 		}
@@ -676,7 +702,7 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 			cause = CauseSealed
 		case head.Bytes+units.MSS > units.TSOMaxBytes:
 			cause = CauseFull
-		case e.ooo.len() > 1 && e.ooo.segs[1].Seq == head.EndSeq():
+		case e.ooo.NextContiguous():
 			cause = CauseBoundary // successor is contiguous yet unmerged
 		default:
 			return
@@ -690,7 +716,7 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 // cause names the Table-2 condition for the forensics audit ring.
 // Callers refresh the flow's deadline-queue position afterwards.
 func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter, cause string) {
-	seg := e.ooo.popHead()
+	seg := e.ooo.PopHead()
 	segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
 	j.buffered -= seg.Bytes
 	j.bufferedPkts -= seg.Pkts
@@ -715,7 +741,7 @@ func (j *Juggler) afterFlush(e *flowEntry) {
 			Seq: e.seqNext, EndSeq: e.seqNext, Note: "build-up>active-merge"})
 		fallthrough
 	case PhaseActiveMerge:
-		if e.ooo.empty() {
+		if e.ooo.Empty() {
 			// §4.2.4: queue drained in sequence -> post merge.
 			j.active.remove(e)
 			j.enlist(&j.inactive, e)
@@ -766,7 +792,7 @@ func (j *Juggler) onTimer() {
 // flowDeadline returns the next timeout instant for a flow, or 0 when it
 // holds nothing.
 func (j *Juggler) flowDeadline(e *flowEntry) sim.Time {
-	head := e.ooo.head()
+	head := e.ooo.Head()
 	if head == nil {
 		return 0
 	}
@@ -783,7 +809,7 @@ func (j *Juggler) flowDeadline(e *flowEntry) sim.Time {
 // out-of-order queues, each at its flowDeadline. A deadline of Time 0 is
 // legal (zero timeouts at the simulation origin: due immediately).
 func (j *Juggler) updateDeadline(e *flowEntry) {
-	if e.ooo.empty() {
+	if e.ooo.Empty() {
 		j.dq.Remove(e)
 		return
 	}
@@ -896,7 +922,7 @@ func (j *Juggler) rearm(now, next sim.Time) {
 
 // expireFlow applies the timeout flushes to one flow at time now.
 func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
-	head := e.ooo.head()
+	head := e.ooo.Head()
 	if head == nil {
 		return
 	}
@@ -906,14 +932,14 @@ func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
 			Seq: head.Seq, EndSeq: head.EndSeq(), N: int64(now.Sub(e.holdStart)),
 			Note: "held ns in N"})
 		for {
-			head = e.ooo.head()
+			head = e.ooo.Head()
 			if head == nil || head.Seq != e.seqNext {
 				break
 			}
 			j.flushHead(e, &j.Stats.FlushInseqTimeout, j.mFlushInseq, CauseInseq)
 		}
 	}
-	head = e.ooo.head()
+	head = e.ooo.Head()
 	if head == nil {
 		return
 	}
@@ -929,14 +955,14 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	j.Stats.OfoTimeouts++
 	j.mOfoTimeouts.Inc()
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindTimeout,
-		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: "ofo"})
+		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: "ofo"})
 	j.decide(e, telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseOfo,
 		Seq: e.seqNext, EndSeq: e.seqNext,
 		N: int64(j.sim.Now().Sub(e.holdStart)), Note: "held ns in N, queue drains"})
 	firstMissing := e.seqNext
-	j.buffered -= e.ooo.bytes()
-	j.bufferedPkts -= e.ooo.pkts()
-	drained := e.ooo.drain()
+	j.buffered -= e.ooo.Bytes()
+	j.bufferedPkts -= e.ooo.Pkts()
+	drained := e.ooo.Drain()
 	for _, seg := range drained {
 		j.Stats.FlushOfoTimeout++
 		j.mFlushOfo.Inc()
@@ -946,7 +972,7 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 		j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseOfo,
 			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 	}
-	e.ooo.recycleDrained(drained)
+	e.ooo.RecycleDrained(drained)
 	e.flushTimestamp = j.sim.Now()
 	e.holdStart = e.flushTimestamp
 
@@ -1018,12 +1044,12 @@ func (j *Juggler) evictOne() {
 func (j *Juggler) evict(e *flowEntry) {
 	j.mEvictions.Inc()
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
-		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.pkts()), Note: e.phase.String()})
+		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
 	j.decide(e, telemetry.Decision{Op: telemetry.OpEvict, Cause: "table-full",
-		Seq: e.seqNext, EndSeq: e.seqNext, N: int64(e.ooo.pkts()), Note: e.phase.String()})
-	j.buffered -= e.ooo.bytes()
-	j.bufferedPkts -= e.ooo.pkts()
-	drained := e.ooo.drain()
+		Seq: e.seqNext, EndSeq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
+	j.buffered -= e.ooo.Bytes()
+	j.bufferedPkts -= e.ooo.Pkts()
+	drained := e.ooo.Drain()
 	for _, seg := range drained {
 		j.Stats.FlushEvict++
 		j.mFlushEvict.Inc()
@@ -1032,7 +1058,7 @@ func (j *Juggler) evict(e *flowEntry) {
 		j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseEvict,
 			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 	}
-	e.ooo.recycleDrained(drained)
+	e.ooo.RecycleDrained(drained)
 	e.list.remove(e)
 	j.dq.Remove(e)
 	j.table.delete(e)
@@ -1046,19 +1072,19 @@ func (j *Juggler) evict(e *flowEntry) {
 func (j *Juggler) Flush() {
 	flush := func(l *flowList) {
 		for e := l.head; e != nil; e = e.next {
-			if e.ooo.empty() {
+			if e.ooo.Empty() {
 				continue
 			}
-			j.buffered -= e.ooo.bytes()
-			j.bufferedPkts -= e.ooo.pkts()
-			drained := e.ooo.drain()
+			j.buffered -= e.ooo.Bytes()
+			j.bufferedPkts -= e.ooo.Pkts()
+			drained := e.ooo.Drain()
 			for _, seg := range drained {
 				segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
 				j.emitMerged(seg)
 				j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseFinal,
 					Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
 			}
-			e.ooo.recycleDrained(drained)
+			e.ooo.RecycleDrained(drained)
 			j.dq.Remove(e)
 		}
 	}

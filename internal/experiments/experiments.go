@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"juggler/internal/reasm"
 	"juggler/internal/sim"
 	"juggler/internal/telemetry"
 )
@@ -41,6 +42,11 @@ type Options struct {
 	// goroutines via sweep.Map. 0 or 1 means serial. Results are committed
 	// by point index, so tables are byte-identical at any width.
 	Workers int
+
+	// Backend selects the reassembly backend every Juggler instance uses
+	// (the CLIs' -backend flag). The zero value is the default seglist
+	// backend, preserving byte-identical output for existing experiments.
+	Backend reasm.Kind
 }
 
 // DefaultOptions is the full-fidelity configuration.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"juggler/internal/core"
+	"juggler/internal/gro"
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/sweep"
@@ -25,6 +26,107 @@ import (
 // before ofo_timeout: the merge-and-recycle path), and ~2% are dropped
 // outright (permanent holes: ofo expiry, loss recovery). Byte
 // conservation is asserted at teardown.
+
+// flowScaleResult carries one concurrency point's deterministic counters —
+// the raw material for the flowscale table row, reused by the bakeoff
+// experiment to compare reassembly backends on the same workload.
+type flowScaleResult struct {
+	Flows           int
+	Sent, Delivered int
+	ActiveMax       int
+	BufMax          int
+	Stats           core.Stats
+	Counters        gro.Counters
+}
+
+// runFlowScalePoint drives the flow-scale workload at one concurrency
+// point. The reassembly backend comes from o.Backend (zero: seglist).
+func runFlowScalePoint(o Options, flows, rounds int) flowScaleResult {
+	const interval = 20 * time.Microsecond
+
+	s := o.newSim()
+	pool := packet.SegPoolFromSim(s)
+	cfg := core.Config{
+		InseqTimeout: 15 * time.Microsecond,
+		OfoTimeout:   50 * time.Microsecond,
+		MaxFlows:     flows,
+		Backend:      o.Backend,
+	}
+	delivered := 0
+	j := core.New(s, cfg, func(seg *packet.Segment) {
+		delivered += seg.Bytes
+		pool.Put(seg)
+	})
+
+	poll := sim.NewTicker(s, 10*time.Microsecond, j.PollComplete)
+	activeMax, bufMax := 0, 0
+	sample := sim.NewTicker(s, 50*time.Microsecond, func() {
+		if n := j.ActiveLen(); n > activeMax {
+			activeMax = n
+		}
+		if b := j.BufferedBytes(); b > bufMax {
+			bufMax = b
+		}
+	})
+	poll.Start()
+	sample.Start()
+
+	rng := s.Rand()
+	sent := 0
+	lateDue := make([]int, flows) // round a deferred packet arrives (0: none)
+	lateSeq := make([]uint32, flows)
+	flowOf := func(f int) packet.FiveTuple {
+		return packet.FiveTuple{
+			SrcIP: uint32(f/65000) + 1, DstIP: 9,
+			SrcPort: uint16(f % 65000), DstPort: 5001, Proto: packet.ProtoTCP,
+		}
+	}
+	send := func(f int, seq uint32, last bool) {
+		ft := flowOf(f)
+		p := packet.Packet{
+			Flow: ft, FlowHash: ft.Hash(0),
+			Seq: 1 + seq*units.MSS, PayloadLen: units.MSS,
+			Flags: packet.FlagACK,
+		}
+		if last {
+			p.Flags |= packet.FlagPSH
+		}
+		sent += p.PayloadLen
+		j.Receive(&p)
+	}
+	for r := 0; r < rounds; r++ {
+		r := r
+		s.Schedule(time.Duration(r)*interval, func() {
+			for f := 0; f < flows; f++ {
+				if lateDue[f] == r+1 { // encoded as round+1 so 0 means none
+					lateDue[f] = 0
+					send(f, lateSeq[f], false)
+				}
+				d := rng.Intn(100)
+				switch {
+				case d < 2 && r < rounds-2:
+					// Dropped: the flow's hole only clears via ofo expiry.
+				case d < 27 && r < rounds-2:
+					lateDue[f] = r + 2 + 1
+					lateSeq[f] = uint32(r)
+				default:
+					send(f, uint32(r), r == rounds-1)
+				}
+			}
+		})
+	}
+	s.RunFor(time.Duration(rounds)*interval + time.Millisecond)
+	poll.Stop()
+	sample.Stop()
+	j.Flush()
+
+	return flowScaleResult{
+		Flows: flows, Sent: sent, Delivered: delivered,
+		ActiveMax: activeMax, BufMax: bufMax,
+		Stats: j.Stats, Counters: j.Counters(),
+	}
+}
+
 func flowScale(o Options) *Table {
 	t := &Table{
 		ID:    "flowscale",
@@ -38,94 +140,18 @@ func flowScale(o Options) *Table {
 		scales = []int{500, 2000, 10000}
 		rounds = 8
 	}
-	const interval = 20 * time.Microsecond
 
 	for _, row := range sweep.Map(o.Workers, len(scales), func(pi int) []string {
 		flows, po := scales[pi], o.point(pi, len(scales))
-		s := po.newSim()
-		pool := packet.SegPoolFromSim(s)
-		cfg := core.Config{
-			InseqTimeout: 15 * time.Microsecond,
-			OfoTimeout:   50 * time.Microsecond,
-			MaxFlows:     flows,
+		res := runFlowScalePoint(po, flows, rounds)
+		if res.Delivered != res.Sent {
+			panic(fmt.Sprintf("flowscale: delivered %d of %d bytes", res.Delivered, res.Sent))
 		}
-		delivered := 0
-		j := core.New(s, cfg, func(seg *packet.Segment) {
-			delivered += seg.Bytes
-			pool.Put(seg)
-		})
-
-		poll := sim.NewTicker(s, 10*time.Microsecond, j.PollComplete)
-		activeMax, bufMax := 0, 0
-		sample := sim.NewTicker(s, 50*time.Microsecond, func() {
-			if n := j.ActiveLen(); n > activeMax {
-				activeMax = n
-			}
-			if b := j.BufferedBytes(); b > bufMax {
-				bufMax = b
-			}
-		})
-		poll.Start()
-		sample.Start()
-
-		rng := s.Rand()
-		sent := 0
-		lateDue := make([]int, flows) // round a deferred packet arrives (0: none)
-		lateSeq := make([]uint32, flows)
-		flowOf := func(f int) packet.FiveTuple {
-			return packet.FiveTuple{
-				SrcIP: uint32(f/65000) + 1, DstIP: 9,
-				SrcPort: uint16(f % 65000), DstPort: 5001, Proto: packet.ProtoTCP,
-			}
-		}
-		send := func(f int, seq uint32, last bool) {
-			ft := flowOf(f)
-			p := packet.Packet{
-				Flow: ft, FlowHash: ft.Hash(0),
-				Seq: 1 + seq*units.MSS, PayloadLen: units.MSS,
-				Flags: packet.FlagACK,
-			}
-			if last {
-				p.Flags |= packet.FlagPSH
-			}
-			sent += p.PayloadLen
-			j.Receive(&p)
-		}
-		for r := 0; r < rounds; r++ {
-			r := r
-			s.Schedule(time.Duration(r)*interval, func() {
-				for f := 0; f < flows; f++ {
-					if lateDue[f] == r+1 { // encoded as round+1 so 0 means none
-						lateDue[f] = 0
-						send(f, lateSeq[f], false)
-					}
-					d := rng.Intn(100)
-					switch {
-					case d < 2 && r < rounds-2:
-						// Dropped: the flow's hole only clears via ofo expiry.
-					case d < 27 && r < rounds-2:
-						lateDue[f] = r + 2 + 1
-						lateSeq[f] = uint32(r)
-					default:
-						send(f, uint32(r), r == rounds-1)
-					}
-				}
-			})
-		}
-		s.RunFor(time.Duration(rounds)*interval + time.Millisecond)
-		poll.Stop()
-		sample.Stop()
-		j.Flush()
-		if delivered != sent {
-			panic(fmt.Sprintf("flowscale: delivered %d of %d bytes", delivered, sent))
-		}
-
-		st := j.Stats
-		c := j.Counters()
+		st, c := res.Stats, res.Counters
 		return []string{fI(int64(flows)), fI(c.Packets), fI(st.FlushEvent),
 			fI(st.FlushInseqTimeout), fI(st.FlushOfoTimeout), fI(st.OfoTimeouts),
 			fI(st.LossRecoveryEntered), fF(float64(c.OOOWork) / float64(c.Packets)),
-			fI(int64(activeMax)), fmt.Sprintf("%d", bufMax/1024)}
+			fI(int64(res.ActiveMax)), fmt.Sprintf("%d", res.BufMax/1024)}
 	}) {
 		t.Add(row...)
 	}

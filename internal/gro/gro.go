@@ -49,17 +49,23 @@ type Offload interface {
 // Null is offload disabled: every packet is delivered as its own segment.
 type Null struct {
 	deliver Deliver
+	pool    *packet.SegPool
 	c       Counters
 }
 
 // NewNull creates a pass-through offload.
 func NewNull(d Deliver) *Null { return &Null{deliver: d} }
 
+// UsePool makes the offload mint segments from pl (nil: heap allocation).
+// With every stack minting through the simulation's shared pool, the
+// pool's Live count is an exact leak detector at quiescence.
+func (n *Null) UsePool(pl *packet.SegPool) { n.pool = pl }
+
 // Receive implements Offload.
 func (n *Null) Receive(p *packet.Packet) {
 	n.c.Packets++
 	n.c.Segments++
-	n.deliver(packet.FromPacket(p))
+	n.deliver(n.pool.FromPacket(p))
 }
 
 // PollComplete implements Offload.
@@ -74,6 +80,7 @@ func (n *Null) Counters() Counters { return n.c }
 // packet is not in sequence, and at every poll completion.
 type Vanilla struct {
 	deliver Deliver
+	pool    *packet.SegPool
 	c       Counters
 
 	// merges holds the per-flow in-progress segment for the current poll,
@@ -125,7 +132,7 @@ func (g *Vanilla) Receive(p *packet.Packet) {
 	if p.PassThrough() {
 		// Control packets end any in-progress merge.
 		g.flushFlow(p.Flow, "control", g.mFlushControl)
-		g.emit(packet.FromPacket(p))
+		g.emit(g.pool.FromPacket(p))
 		return
 	}
 	seg := g.merges[p.Flow]
@@ -147,8 +154,11 @@ func (g *Vanilla) Receive(p *packet.Packet) {
 	g.start(p)
 }
 
+// UsePool makes the offload mint segments from pl (nil: heap allocation).
+func (g *Vanilla) UsePool(pl *packet.SegPool) { g.pool = pl }
+
 func (g *Vanilla) start(p *packet.Packet) {
-	seg := packet.FromPacket(p)
+	seg := g.pool.FromPacket(p)
 	if seg.Sealed() {
 		g.emit(seg)
 		return

@@ -13,12 +13,16 @@ import (
 // the receiver still sees out-of-order byte ranges.
 type LinkedList struct {
 	deliver Deliver
+	pool    *packet.SegPool
 	c       Counters
 
 	merges  map[packet.FiveTuple]*packet.Segment
 	order   []packet.FiveTuple
 	onOrder map[packet.FiveTuple]bool
 }
+
+// UsePool makes the offload mint segments from pl (nil: heap allocation).
+func (g *LinkedList) UsePool(pl *packet.SegPool) { g.pool = pl }
 
 // NewLinkedList creates the linked-list batching offload.
 func NewLinkedList(d Deliver) *LinkedList {
@@ -34,12 +38,12 @@ func (g *LinkedList) Receive(p *packet.Packet) {
 	g.c.Packets++
 	if p.PassThrough() {
 		g.flushFlow(p.Flow)
-		g.emit(packet.FromPacket(p))
+		g.emit(g.pool.FromPacket(p))
 		return
 	}
 	seg := g.merges[p.Flow]
 	if seg == nil {
-		seg = packet.FromPacket(p)
+		seg = g.pool.FromPacket(p)
 		seg.Kind = packet.MergeLinkedList
 		seg.Ranges = []packet.Range{{Seq: p.Seq, Len: p.PayloadLen}}
 		g.merges[p.Flow] = seg

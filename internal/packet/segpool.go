@@ -22,6 +22,11 @@ type SegPool struct {
 	// Gets and Reuses count pool traffic for benchmarks: Gets is total
 	// allocations requested, Reuses how many were served from the free list.
 	Gets, Reuses uint64
+	// Puts counts segments returned; with every segment minted through the
+	// pool, Gets-Puts is the number of live (unrecycled) segments — the
+	// leak figure the chaos invariant checker asserts is zero at
+	// quiescence.
+	Puts uint64
 }
 
 // Get returns a zeroed Segment, recycled when possible.
@@ -49,7 +54,19 @@ func (pl *SegPool) Put(s *Segment) {
 	if pl == nil || s == nil {
 		return
 	}
+	pl.Puts++
 	pl.free = append(pl.free, s)
+}
+
+// Live returns the number of segments minted but not yet returned. At
+// quiescence — queues drained, endpoints idle — every segment's owner has
+// recycled it, so a non-zero Live is a leak (or a double Put, which shows
+// up negative).
+func (pl *SegPool) Live() int64 {
+	if pl == nil {
+		return 0
+	}
+	return int64(pl.Gets) - int64(pl.Puts)
 }
 
 // FromPacket builds a single-packet segment from the pool, preserving the

@@ -1,0 +1,39 @@
+package reasm
+
+import (
+	"juggler/internal/packet"
+)
+
+// BatchSort is the Wu-style resequencer (PAPERS.md): arrivals accumulate
+// as per-packet records in a sorted batch — insertion is a binary search
+// plus memmove, with no merge bookkeeping — and coalescing happens once,
+// at delivery, when the head run is sorted out of the batch. It trades
+// slightly more queued state (one record per packet) for a simpler, and
+// under heavy reordering cheaper, insert path.
+type BatchSort struct {
+	pktq
+}
+
+// Kind identifies the implementation.
+func (q *BatchSort) Kind() Kind { return KindBatchSort }
+
+// Covered reports whether p's byte range is already fully present in the
+// batch (as a union of possibly-overlapping records).
+func (q *BatchSort) Covered(p *packet.Packet) bool {
+	return q.coveredRange(p.Seq, p.EndSeq())
+}
+
+// Insert stores p as a single-packet record at its sorted position.
+// fastPath mirrors SegList's accounting: a tail arrival that either opens
+// an empty batch or continues the previous tail exactly costs no more
+// than standard GRO's in-order append.
+func (q *BatchSort) Insert(p *packet.Packet) (res InsertResult, fastPath bool) {
+	if q.Covered(p) {
+		return InsDuplicate, false
+	}
+	i := q.findPos(p.Seq)
+	tail := i == len(q.segs)
+	fastPath = tail && (i == 0 || q.segs[i-1].EndSeq() == p.Seq)
+	q.insertAt(i, p)
+	return InsNew, fastPath
+}

@@ -1,0 +1,212 @@
+package reasm
+
+import (
+	"math/bits"
+
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+// BitmapWindow is the Bitmap backend's sliding window, in record slots
+// (power of two). 1024 MSS-sized records ≈ 1.4MB of sequence space —
+// far wider than any datacenter reordering span the paper considers.
+const BitmapWindow = 1024
+
+// Bitmap is the Eunomia-style tracker (PAPERS.md): out-of-order arrival
+// state for fixed-size records lives in a constant-size bitmap over a
+// sliding window, so per-flow memory is bounded (~8KB regardless of
+// reordering) and insert/lookup are O(1) bit operations. It fits
+// internal/msgt-like workloads where every packet is one MSS-sized record
+// on a record-aligned boundary; packets that don't fit the regime —
+// misaligned starts, records below the window, arrivals past the window's
+// far edge — are rejected and delivered unbuffered by the caller. Records
+// are never merged: every delivery is one record, so the batching extent
+// is 1 by construction (that cost shows up in the bake-off).
+//
+// The window re-anchors at the next buffered packet whenever the queue
+// drains empty, which also restores alignment after a short (sub-record)
+// tail packet shifts the stream off its record grid.
+type Bitmap struct {
+	pool *packet.SegPool
+
+	bits  []uint64          // presence, ring-indexed; lazily allocated
+	slots []*packet.Segment // stored records, parallel to bits
+
+	base     uint32 // sequence of the window floor (slot offset 0)
+	baseSlot int    // ring index of the window floor
+	minOff   int    // lowest occupied offset, -1 when empty
+	maxOff   int    // highest occupied offset, -1 when empty
+	nbytes   int
+	npkts    int
+
+	spare []*packet.Segment
+}
+
+// Kind identifies the implementation.
+func (q *Bitmap) Kind() Kind { return KindBitmap }
+
+func (q *Bitmap) Len() int    { return q.npkts }
+func (q *Bitmap) Empty() bool { return q.npkts == 0 }
+func (q *Bitmap) Pkts() int   { return q.npkts }
+func (q *Bitmap) Bytes() int  { return q.nbytes }
+
+func (q *Bitmap) idx(off int) int            { return (q.baseSlot + off) & (BitmapWindow - 1) }
+func (q *Bitmap) bit(off int) bool           { i := q.idx(off); return q.bits[i>>6]&(1<<(i&63)) != 0 }
+func (q *Bitmap) setBit(off int)             { i := q.idx(off); q.bits[i>>6] |= 1 << (i & 63) }
+func (q *Bitmap) clearBit(off int)           { i := q.idx(off); q.bits[i>>6] &^= 1 << (i & 63) }
+func (q *Bitmap) at(off int) *packet.Segment { return q.slots[q.idx(off)] }
+
+// slotOf maps a sequence number to its window offset; ok is false when the
+// packet doesn't fit the fixed-record regime.
+func (q *Bitmap) slotOf(seq uint32) (off int, ok bool) {
+	delta := seq - q.base
+	if int32(delta) < 0 || delta%units.MSS != 0 {
+		return 0, false
+	}
+	off = int(delta / units.MSS)
+	return off, off < BitmapWindow
+}
+
+// Covered reports whether p's byte range is already present in its slot.
+func (q *Bitmap) Covered(p *packet.Packet) bool {
+	if q.npkts == 0 {
+		return false
+	}
+	off, ok := q.slotOf(p.Seq)
+	if !ok || !q.bit(off) {
+		return false
+	}
+	return packet.SeqLEQ(p.EndSeq(), q.at(off).EndSeq())
+}
+
+// Insert places p into its record slot. fastPath mirrors SegList's
+// accounting: opening an empty window or landing on the slot right after
+// the current high record is the in-order cost profile.
+func (q *Bitmap) Insert(p *packet.Packet) (res InsertResult, fastPath bool) {
+	if p.PayloadLen > units.MSS {
+		return InsRejected, false
+	}
+	if q.bits == nil {
+		q.bits = make([]uint64, BitmapWindow/64)
+		q.slots = make([]*packet.Segment, BitmapWindow)
+		q.minOff, q.maxOff = -1, -1
+	}
+	if q.npkts == 0 {
+		// Re-anchor the window at the first buffered record.
+		q.base, q.baseSlot = p.Seq, 0
+		q.minOff, q.maxOff = -1, -1
+	}
+	off, ok := q.slotOf(p.Seq)
+	if !ok {
+		return InsRejected, false
+	}
+	if q.bit(off) {
+		if packet.SeqLEQ(p.EndSeq(), q.at(off).EndSeq()) {
+			return InsDuplicate, false
+		}
+		return InsRejected, false // slot occupied by a shorter record
+	}
+	fastPath = q.npkts == 0 || off == q.maxOff+1
+	q.slots[q.idx(off)] = q.pool.FromPacket(p)
+	q.setBit(off)
+	q.npkts++
+	q.nbytes += p.PayloadLen
+	if q.minOff < 0 || off < q.minOff {
+		q.minOff = off
+	}
+	if off > q.maxOff {
+		q.maxOff = off
+	}
+	return InsNew, fastPath
+}
+
+// Head returns the lowest-sequence record, or nil.
+func (q *Bitmap) Head() *packet.Segment {
+	if q.npkts == 0 {
+		return nil
+	}
+	return q.at(q.minOff)
+}
+
+// PopHead removes and returns the lowest record, sliding the window floor
+// past it; the caller takes ownership.
+func (q *Bitmap) PopHead() *packet.Segment {
+	s := q.at(q.minOff)
+	q.slots[q.idx(q.minOff)] = nil
+	q.clearBit(q.minOff)
+	q.npkts--
+	q.nbytes -= s.Bytes
+	adv := q.minOff + 1
+	q.base += uint32(adv) * units.MSS
+	q.baseSlot = (q.baseSlot + adv) & (BitmapWindow - 1)
+	q.maxOff -= adv
+	q.minOff = q.scanMin()
+	return s
+}
+
+// scanMin finds the lowest occupied offset (word-wise), or -1.
+func (q *Bitmap) scanMin() int {
+	if q.npkts == 0 {
+		return -1
+	}
+	// Walk from the floor's word, handling the partial first word and the
+	// ring wrap; npkts > 0 guarantees a hit within one lap.
+	for off := 0; off < BitmapWindow; {
+		i := q.idx(off)
+		w := q.bits[i>>6] >> (i & 63)
+		if w != 0 {
+			return off + bits.TrailingZeros64(w)
+		}
+		off += 64 - (i & 63)
+	}
+	return -1
+}
+
+// NextContiguous reports whether the record after the head is present and
+// byte-contiguous (the head is a full record).
+func (q *Bitmap) NextContiguous() bool {
+	if q.npkts < 2 || q.minOff+1 >= BitmapWindow || !q.bit(q.minOff+1) {
+		return false
+	}
+	return q.at(q.minOff).Bytes == units.MSS
+}
+
+// Drain pops every record in sequence order into the spare backing array.
+func (q *Bitmap) Drain() []*packet.Segment {
+	out := q.spare[:0]
+	q.spare = nil
+	for q.npkts > 0 {
+		out = append(out, q.PopHead())
+	}
+	return out
+}
+
+// RecycleDrained retires a slice obtained from Drain for reuse.
+func (q *Bitmap) RecycleDrained(s []*packet.Segment) {
+	for i := range s {
+		s[i] = nil
+	}
+	if cap(s) > cap(q.spare) {
+		q.spare = s[:0]
+	}
+}
+
+// Reset returns any stored records to the pool and empties the window,
+// keeping the bitmap and slot arrays for reuse. O(1) when already empty —
+// flow churn at scale must not pay a window sweep per release.
+func (q *Bitmap) Reset() {
+	if q.npkts > 0 {
+		for i, s := range q.slots {
+			if s != nil {
+				q.pool.Put(s)
+				q.slots[i] = nil
+			}
+		}
+		for i := range q.bits {
+			q.bits[i] = 0
+		}
+	}
+	q.npkts, q.nbytes = 0, 0
+	q.minOff, q.maxOff = -1, -1
+	q.base, q.baseSlot = 0, 0
+}

@@ -1,0 +1,199 @@
+package reasm
+
+import (
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+// pktq is the store shared by the BatchSort and Ring backends: a slice of
+// single-packet pooled segments sorted by sequence number, coalesced only
+// at delivery time. Insert stays cheap and position-blind — Wu et al.'s
+// observation that resequencing a batch once at delivery beats maintaining
+// merge state per packet — while Head/PopHead apply the same merge rules
+// as SegList (contiguity, no sealed extension, matching options/ECN, the
+// TSO size budget) so downstream batching semantics are comparable.
+//
+// The coalesced head is cached in a pool-minted segment (head/headN) and
+// invalidated by any insert; popping returns the cache and recycles the
+// constituent per-packet segments, so segment ownership still transfers to
+// the caller exactly once per delivered byte range.
+type pktq struct {
+	segs  []*packet.Segment // sorted single-packet segments
+	spare []*packet.Segment // retired backing array awaiting reuse
+	pool  *packet.SegPool
+
+	head   *packet.Segment // cached coalesced head run, nil when invalid
+	headN  int             // leading segments covered by the cache
+	nbytes int
+	npkts  int
+}
+
+func (q *pktq) Len() int    { return len(q.segs) }
+func (q *pktq) Empty() bool { return len(q.segs) == 0 }
+func (q *pktq) Pkts() int   { return q.npkts }
+func (q *pktq) Bytes() int  { return q.nbytes }
+
+// findPos returns the index of the first segment whose Seq is not before
+// seq (binary search in sequence space).
+func (q *pktq) findPos(seq uint32) int {
+	lo, hi := 0, len(q.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if packet.SeqLess(q.segs[mid].Seq, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// coveredRange walks the union of stored ranges from seq and reports
+// whether [seq, end) is fully present. Stored packets may overlap (a
+// straddling packet is stored whole, as in SegList), so coverage is a
+// frontier walk rather than a single-segment containment test.
+func (q *pktq) coveredRange(seq, end uint32) bool {
+	i := q.findPos(seq)
+	if i == len(q.segs) || q.segs[i].Seq != seq {
+		if i == 0 {
+			return false
+		}
+		i--
+	}
+	frontier := q.segs[i].Seq
+	if packet.SeqLess(seq, frontier) {
+		return false
+	}
+	for ; i < len(q.segs); i++ {
+		s := q.segs[i]
+		if packet.SeqLess(frontier, s.Seq) {
+			return false // gap before the next stored run
+		}
+		if packet.SeqLess(frontier, s.EndSeq()) {
+			frontier = s.EndSeq()
+		}
+		if packet.SeqLEQ(end, frontier) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertAt stores a pool-minted single-packet segment for p at index i and
+// invalidates the head cache.
+func (q *pktq) insertAt(i int, p *packet.Packet) {
+	seg := q.pool.FromPacket(p)
+	q.segs = append(q.segs, nil)
+	copy(q.segs[i+1:], q.segs[i:])
+	q.segs[i] = seg
+	q.nbytes += p.PayloadLen
+	q.npkts++
+	q.dropHeadCache()
+}
+
+// dropHeadCache recycles the cached coalesced head, if any.
+func (q *pktq) dropHeadCache() {
+	if q.head != nil {
+		q.pool.Put(q.head)
+		q.head, q.headN = nil, 0
+	}
+}
+
+// buildHead coalesces the leading contiguous, compatible run into the
+// cached head segment under the SegList merge rules.
+func (q *pktq) buildHead() {
+	if q.head != nil || len(q.segs) == 0 {
+		return
+	}
+	h := q.pool.Get()
+	*h = *q.segs[0]
+	n := 1
+	for n < len(q.segs) {
+		s := q.segs[n]
+		if h.Sealed() || s.Seq != h.EndSeq() || s.OptSig != h.OptSig || s.CE != h.CE ||
+			h.Bytes+s.Bytes > units.TSOMaxBytes {
+			break
+		}
+		h.Bytes += s.Bytes
+		h.Pkts += s.Pkts
+		h.Flags |= s.Flags
+		h.AckSeq = s.AckSeq
+		if s.FirstSentAt < h.FirstSentAt {
+			h.FirstSentAt = s.FirstSentAt
+		}
+		if s.LastSentAt > h.LastSentAt {
+			h.LastSentAt = s.LastSentAt
+		}
+		n++
+	}
+	q.head, q.headN = h, n
+}
+
+// Head returns the coalesced head run, or nil when empty. The segment
+// remains owned by the queue until PopHead.
+func (q *pktq) Head() *packet.Segment {
+	q.buildHead()
+	return q.head
+}
+
+// PopHead removes and returns the coalesced head run; its constituent
+// per-packet segments go back to the pool.
+func (q *pktq) PopHead() *packet.Segment {
+	q.buildHead()
+	h := q.head
+	n := q.headN
+	q.head, q.headN = nil, 0
+	for i := 0; i < n; i++ {
+		q.pool.Put(q.segs[i])
+	}
+	copy(q.segs, q.segs[n:])
+	for i := len(q.segs) - n; i < len(q.segs); i++ {
+		q.segs[i] = nil
+	}
+	q.segs = q.segs[:len(q.segs)-n]
+	q.nbytes -= h.Bytes
+	q.npkts -= h.Pkts
+	return h
+}
+
+// NextContiguous reports whether a stored segment starts exactly at the
+// coalesced head's end — the head stopped merging at a seal/options/size
+// boundary, not at a hole.
+func (q *pktq) NextContiguous() bool {
+	q.buildHead()
+	return q.head != nil && q.headN < len(q.segs) && q.segs[q.headN].Seq == q.head.EndSeq()
+}
+
+// Drain pops every coalesced run in sequence order into the spare backing
+// array; the caller takes ownership and returns the slice through
+// RecycleDrained.
+func (q *pktq) Drain() []*packet.Segment {
+	out := q.spare[:0]
+	q.spare = nil
+	for len(q.segs) > 0 {
+		out = append(out, q.PopHead())
+	}
+	return out
+}
+
+// RecycleDrained retires a slice obtained from Drain for reuse.
+func (q *pktq) RecycleDrained(s []*packet.Segment) {
+	for i := range s {
+		s[i] = nil
+	}
+	if cap(s) > cap(q.spare) {
+		q.spare = s[:0]
+	}
+}
+
+// Reset returns all stored segments and the head cache to the pool and
+// empties the queue, preserving backing arrays.
+func (q *pktq) Reset() {
+	q.dropHeadCache()
+	for i, s := range q.segs {
+		q.pool.Put(s)
+		q.segs[i] = nil
+	}
+	q.segs = q.segs[:0]
+	q.nbytes, q.npkts = 0, 0
+}

@@ -1,0 +1,67 @@
+package reasm
+
+import (
+	"juggler/internal/packet"
+)
+
+// DefaultRingBytes bounds the bytes a Ring backend will buffer per flow —
+// a quarter of tulips' 1MB-class reorder window, sized for datacenter
+// reordering spans (a 250us path-delay skew at 10G is ~300KB across all
+// queued flows, far less per flow).
+const DefaultRingBytes = 256 * 1024
+
+// Ring is the tulips-ReorderBuffer-style backend (SNIPPETS.md): a single
+// contiguous, memory-bounded run of per-packet records. Packets are
+// accepted only at the run's edges — appending at the high edge, or
+// filling the one outstanding hole by prepending at the low edge — so the
+// buffer never tracks more than one hole and its memory is bounded by
+// budget. Anything else (a second hole, an edge-straddling overlap, a
+// packet past the byte budget) is rejected and delivered unbuffered by
+// the caller. That is the honest tradeoff the bake-off measures: bounded
+// state and O(1) inserts against degraded resilience under multi-hole
+// reordering.
+type Ring struct {
+	pktq
+	budget int
+}
+
+// Kind identifies the implementation.
+func (q *Ring) Kind() Kind { return KindRing }
+
+// Covered reports whether p's byte range lies inside the contiguous run.
+func (q *Ring) Covered(p *packet.Packet) bool {
+	if len(q.segs) == 0 {
+		return false
+	}
+	lo := q.segs[0].Seq
+	hi := q.segs[len(q.segs)-1].EndSeq()
+	return packet.SeqLEQ(lo, p.Seq) && packet.SeqLEQ(p.EndSeq(), hi)
+}
+
+// Insert accepts p only where the contiguous run stays contiguous: an
+// empty buffer, a tail append at the high edge, or a head prepend that
+// fills toward the missing packet. fastPath matches SegList's accounting
+// (first record, or an exact tail continuation).
+func (q *Ring) Insert(p *packet.Packet) (res InsertResult, fastPath bool) {
+	if q.Covered(p) {
+		return InsDuplicate, false
+	}
+	if q.nbytes+p.PayloadLen > q.budget {
+		return InsRejected, false
+	}
+	if len(q.segs) == 0 {
+		q.insertAt(0, p)
+		return InsNew, true
+	}
+	lo := q.segs[0].Seq
+	hi := q.segs[len(q.segs)-1].EndSeq()
+	switch {
+	case p.Seq == hi: // tail append
+		q.insertAt(len(q.segs), p)
+		return InsNew, true
+	case p.EndSeq() == lo: // head prepend (hole fill)
+		q.insertAt(0, p)
+		return InsNew, false
+	}
+	return InsRejected, false
+}

@@ -1,21 +1,21 @@
-package core
+package reasm
 
 import (
 	"juggler/internal/packet"
 	"juggler/internal/units"
 )
 
-// oooQueue is a flow's out-of-order queue: packets sorted by sequence
+// SegList is the paper's out-of-order queue: packets sorted by sequence
 // number and eagerly merged into contiguous segments. The paper stores
 // packets in a doubly-linked sk_buff list; an ordered slice of merged
 // segments is semantically identical and keeps adjacent-merge operations
 // O(queue length), which §3.2 argues is small in datacenters.
 //
 // Segments are minted from the simulation's shared packet.SegPool (pool is
-// nil-safe, so a zero oooQueue still works), and the queue's own state is
-// reusable: byte/packet totals are maintained incrementally so bytes() and
-// pkts() are O(1), and drain swaps in a spare backing array so the caller
-// can return the drained one with recycleDrained — steady-state flow churn
+// nil-safe, so a zero SegList still works), and the queue's own state is
+// reusable: byte/packet totals are maintained incrementally so Bytes() and
+// Pkts() are O(1), and Drain swaps in a spare backing array so the caller
+// can return the drained one with RecycleDrained — steady-state flow churn
 // never reallocates the slice.
 //
 // Invariants (checked by tests):
@@ -23,7 +23,7 @@ import (
 //   - no two segments are mergeable (overlap-free, and any two adjacent
 //     contiguous segments differ in options/CE, sealing, or size budget);
 //   - nbytes/npkts equal the sums over queued segments.
-type oooQueue struct {
+type SegList struct {
 	segs   []*packet.Segment
 	spare  []*packet.Segment // retired backing array awaiting reuse
 	pool   *packet.SegPool
@@ -31,31 +31,25 @@ type oooQueue struct {
 	npkts  int
 }
 
-// insertResult describes what insert did with a packet.
-type insertResult uint8
+// Kind identifies the implementation.
+func (q *SegList) Kind() Kind { return KindSegList }
 
-const (
-	insMerged    insertResult = iota // extended an existing segment
-	insNew                           // created a new standalone segment
-	insDuplicate                     // fully covered already; not stored
-)
+// Len returns the number of segments queued.
+func (q *SegList) Len() int { return len(q.segs) }
 
-// len returns the number of segments queued.
-func (q *oooQueue) len() int { return len(q.segs) }
+// Empty reports whether the queue holds nothing.
+func (q *SegList) Empty() bool { return len(q.segs) == 0 }
 
-// empty reports whether the queue holds nothing.
-func (q *oooQueue) empty() bool { return len(q.segs) == 0 }
-
-// head returns the first (lowest-sequence) segment, or nil.
-func (q *oooQueue) head() *packet.Segment {
+// Head returns the first (lowest-sequence) segment, or nil.
+func (q *SegList) Head() *packet.Segment {
 	if len(q.segs) == 0 {
 		return nil
 	}
 	return q.segs[0]
 }
 
-// popHead removes and returns the first segment.
-func (q *oooQueue) popHead() *packet.Segment {
+// PopHead removes and returns the first segment.
+func (q *SegList) PopHead() *packet.Segment {
 	s := q.segs[0]
 	copy(q.segs, q.segs[1:])
 	q.segs[len(q.segs)-1] = nil
@@ -65,9 +59,15 @@ func (q *oooQueue) popHead() *packet.Segment {
 	return s
 }
 
+// NextContiguous reports whether the second queued segment starts exactly
+// at the head's end (the flush-cause-boundary test).
+func (q *SegList) NextContiguous() bool {
+	return len(q.segs) > 1 && q.segs[1].Seq == q.segs[0].EndSeq()
+}
+
 // findInsertPos returns the index of the first segment whose Seq is not
 // before seq (binary search in sequence space).
-func (q *oooQueue) findInsertPos(seq uint32) int {
+func (q *SegList) findInsertPos(seq uint32) int {
 	lo, hi := 0, len(q.segs)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -80,8 +80,8 @@ func (q *oooQueue) findInsertPos(seq uint32) int {
 	return lo
 }
 
-// covered reports whether the packet's byte range is already fully present.
-func (q *oooQueue) covered(p *packet.Packet) bool {
+// Covered reports whether the packet's byte range is already fully present.
+func (q *SegList) Covered(p *packet.Packet) bool {
 	i := q.findInsertPos(p.Seq)
 	// A covering segment starts at or before p.Seq: check segs[i] (equal
 	// start) and segs[i-1] (earlier start).
@@ -98,14 +98,14 @@ func (q *oooQueue) covered(p *packet.Packet) bool {
 	return false
 }
 
-// insert places p into the queue, merging with neighbours where the GRO
+// Insert places p into the queue, merging with neighbours where the GRO
 // merge rules allow. Exact duplicates are reported, not stored. fastPath
 // reports a plain tail extension of the last segment — the same work
 // standard GRO does on in-order traffic, which therefore carries no extra
 // Juggler bookkeeping cost.
-func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
-	if q.covered(p) {
-		return insDuplicate, false
+func (q *SegList) Insert(p *packet.Packet) (res InsertResult, fastPath bool) {
+	if q.Covered(p) {
+		return InsDuplicate, false
 	}
 	i := q.findInsertPos(p.Seq)
 	q.nbytes += p.PayloadLen
@@ -115,11 +115,11 @@ func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
 	if i > 0 && q.segs[i-1].CanAppend(p, units.TSOMaxBytes) {
 		q.segs[i-1].Append(p)
 		if i == len(q.segs) {
-			return insMerged, true
+			return InsMerged, true
 		}
 		// The grown predecessor may now touch the successor.
 		q.tryMergeAt(i - 1)
-		return insMerged, false
+		return InsMerged, false
 	}
 	// Try prepending to the successor.
 	if i < len(q.segs) && q.segs[i].CanPrepend(p, units.TSOMaxBytes) {
@@ -128,20 +128,20 @@ func (q *oooQueue) insert(p *packet.Packet) (res insertResult, fastPath bool) {
 		if i > 0 {
 			q.tryMergeAt(i - 1)
 		}
-		return insMerged, false
+		return InsMerged, false
 	}
 	// Standalone segment.
 	seg := q.pool.FromPacket(p)
 	q.segs = append(q.segs, nil)
 	copy(q.segs[i+1:], q.segs[i:])
 	q.segs[i] = seg
-	return insNew, q.len() == 1
+	return InsNew, q.Len() == 1
 }
 
 // tryMergeAt merges segs[i] with segs[i+1] when they are contiguous and
 // compatible, closing a filled hole. The absorbed segment goes back to the
 // pool — hole churn recycles instead of leaking garbage.
-func (q *oooQueue) tryMergeAt(i int) {
+func (q *SegList) tryMergeAt(i int) {
 	if i+1 >= len(q.segs) {
 		return
 	}
@@ -169,15 +169,11 @@ func (q *oooQueue) tryMergeAt(i int) {
 	q.pool.Put(b)
 }
 
-// minSeq returns the lowest sequence number queued; only valid when
-// non-empty.
-func (q *oooQueue) minSeq() uint32 { return q.segs[0].Seq }
-
-// drain detaches and returns all segments in sequence order, swapping in
+// Drain detaches and returns all segments in sequence order, swapping in
 // the spare backing array so the queue stays usable (and allocation-free)
 // while the caller walks the drained slice. Callers hand the walked slice
-// back through recycleDrained once the segments are emitted.
-func (q *oooQueue) drain() []*packet.Segment {
+// back through RecycleDrained once the segments are emitted.
+func (q *SegList) Drain() []*packet.Segment {
 	out := q.segs
 	q.segs = q.spare[:0]
 	q.spare = nil
@@ -185,10 +181,10 @@ func (q *oooQueue) drain() []*packet.Segment {
 	return out
 }
 
-// recycleDrained returns a slice obtained from drain for reuse. The
+// RecycleDrained returns a slice obtained from Drain for reuse. The
 // segments themselves belong to whoever consumed them; only the backing
 // array is retired here.
-func (q *oooQueue) recycleDrained(s []*packet.Segment) {
+func (q *SegList) RecycleDrained(s []*packet.Segment) {
 	for i := range s {
 		s[i] = nil
 	}
@@ -197,9 +193,20 @@ func (q *oooQueue) recycleDrained(s []*packet.Segment) {
 	}
 }
 
-// pkts returns the total packet count queued — O(1), maintained at
-// insert/pop/drain.
-func (q *oooQueue) pkts() int { return q.npkts }
+// Reset returns any still-queued segments to the pool and empties the
+// queue, preserving both backing arrays for reuse.
+func (q *SegList) Reset() {
+	for i, s := range q.segs {
+		q.pool.Put(s)
+		q.segs[i] = nil
+	}
+	q.segs = q.segs[:0]
+	q.nbytes, q.npkts = 0, 0
+}
 
-// bytes returns the total payload bytes queued — O(1).
-func (q *oooQueue) bytes() int { return q.nbytes }
+// Pkts returns the total packet count queued — O(1), maintained at
+// insert/pop/drain.
+func (q *SegList) Pkts() int { return q.npkts }
+
+// Bytes returns the total payload bytes queued — O(1).
+func (q *SegList) Bytes() int { return q.nbytes }

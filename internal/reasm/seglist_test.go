@@ -1,4 +1,4 @@
-package core
+package reasm
 
 import (
 	"testing"
@@ -17,7 +17,7 @@ func dataPkt(seqMSS int) *packet.Packet {
 	}
 }
 
-func (q *oooQueue) checkInvariants(t *testing.T) {
+func (q *SegList) checkInvariants(t *testing.T) {
 	t.Helper()
 	for i := 1; i < len(q.segs); i++ {
 		a, b := q.segs[i-1], q.segs[i]
@@ -32,107 +32,110 @@ func (q *oooQueue) checkInvariants(t *testing.T) {
 }
 
 func TestOOOInsertSortedAndMerged(t *testing.T) {
-	var q oooQueue
+	var q SegList
 	for _, s := range []int{3, 5, 2} { // Figure 6's build-up arrival order
-		q.insert(dataPkt(s))
+		q.Insert(dataPkt(s))
 		q.checkInvariants(t)
 	}
 	// 2 and 3 merge; 5 stands alone.
-	if q.len() != 2 {
-		t.Fatalf("segments = %d, want 2", q.len())
+	if q.Len() != 2 {
+		t.Fatalf("segments = %d, want 2", q.Len())
 	}
-	if q.head().Seq != uint32(2*units.MSS) || q.head().Pkts != 2 {
-		t.Fatalf("head = %+v", q.head())
+	if q.Head().Seq != uint32(2*units.MSS) || q.Head().Pkts != 2 {
+		t.Fatalf("head = %+v", q.Head())
 	}
-	if q.pkts() != 3 || q.bytes() != 3*units.MSS {
-		t.Fatalf("pkts=%d bytes=%d", q.pkts(), q.bytes())
+	if q.Pkts() != 3 || q.Bytes() != 3*units.MSS {
+		t.Fatalf("pkts=%d bytes=%d", q.Pkts(), q.Bytes())
 	}
 }
 
 func TestOOOHoleFillMergesThreeWays(t *testing.T) {
-	var q oooQueue
-	q.insert(dataPkt(0))
-	q.insert(dataPkt(2))
-	if q.len() != 2 {
+	var q SegList
+	q.Insert(dataPkt(0))
+	q.Insert(dataPkt(2))
+	if q.Len() != 2 {
 		t.Fatal("setup should have 2 segments")
 	}
-	q.insert(dataPkt(1)) // fills the hole: all three merge
+	q.Insert(dataPkt(1)) // fills the hole: all three merge
 	q.checkInvariants(t)
-	if q.len() != 1 || q.head().Pkts != 3 {
-		t.Fatalf("after fill: len=%d head=%+v", q.len(), q.head())
+	if q.Len() != 1 || q.Head().Pkts != 3 {
+		t.Fatalf("after fill: len=%d head=%+v", q.Len(), q.Head())
 	}
 }
 
 func TestOOODuplicateDetected(t *testing.T) {
-	var q oooQueue
-	if res, fast := q.insert(dataPkt(1)); res != insNew || !fast {
+	var q SegList
+	if res, fast := q.Insert(dataPkt(1)); res != InsNew || !fast {
 		t.Fatal("first insert should be new (fast path: sole segment)")
 	}
-	if res, _ := q.insert(dataPkt(1)); res != insDuplicate {
+	if res, _ := q.Insert(dataPkt(1)); res != InsDuplicate {
 		t.Fatal("same packet again should be duplicate")
 	}
-	if res, fast := q.insert(dataPkt(2)); res != insMerged || !fast {
+	if res, fast := q.Insert(dataPkt(2)); res != InsMerged || !fast {
 		t.Fatal("contiguous packet should merge on the fast path")
 	}
-	if res, _ := q.insert(dataPkt(1)); res != insDuplicate {
+	if res, _ := q.Insert(dataPkt(1)); res != InsDuplicate {
 		t.Fatal("covered packet inside merged segment should be duplicate")
 	}
-	if q.pkts() != 2 {
-		t.Fatalf("pkts = %d, want 2", q.pkts())
+	if q.Pkts() != 2 {
+		t.Fatalf("pkts = %d, want 2", q.Pkts())
 	}
 }
 
 func TestOOOSizeLimitCreatesBoundary(t *testing.T) {
-	var q oooQueue
+	var q SegList
 	for i := 0; i < 50; i++ {
-		q.insert(dataPkt(i))
+		q.Insert(dataPkt(i))
 	}
 	q.checkInvariants(t)
-	if q.len() != 2 {
-		t.Fatalf("segments = %d, want 2 (64KB boundary)", q.len())
+	if q.Len() != 2 {
+		t.Fatalf("segments = %d, want 2 (64KB boundary)", q.Len())
 	}
-	if q.head().Pkts != 44 {
-		t.Fatalf("head pkts = %d, want 44", q.head().Pkts)
+	if q.Head().Pkts != 44 {
+		t.Fatalf("head pkts = %d, want 44", q.Head().Pkts)
+	}
+	if !q.NextContiguous() {
+		t.Fatal("the boundary successor is contiguous with the head")
 	}
 }
 
 func TestOOOSealedSegmentNotExtended(t *testing.T) {
-	var q oooQueue
+	var q SegList
 	psh := dataPkt(0)
 	psh.Flags |= packet.FlagPSH
-	q.insert(psh)
-	q.insert(dataPkt(1))
-	if q.len() != 2 {
+	q.Insert(psh)
+	q.Insert(dataPkt(1))
+	if q.Len() != 2 {
 		t.Fatal("sealed head must not absorb the next packet")
 	}
 }
 
 func TestOOOOptionBoundary(t *testing.T) {
-	var q oooQueue
-	q.insert(dataPkt(0))
+	var q SegList
+	q.Insert(dataPkt(0))
 	p := dataPkt(1)
 	p.OptSig = 42
-	q.insert(p)
-	if q.len() != 2 {
+	q.Insert(p)
+	if q.Len() != 2 {
 		t.Fatal("option change must create a merge boundary")
 	}
 	q.checkInvariants(t)
 }
 
 func TestOOOPopHeadAndDrainOrder(t *testing.T) {
-	var q oooQueue
+	var q SegList
 	for _, s := range []int{8, 2, 5} {
-		q.insert(dataPkt(s))
+		q.Insert(dataPkt(s))
 	}
-	h := q.popHead()
+	h := q.PopHead()
 	if h.Seq != uint32(2*units.MSS) {
 		t.Fatalf("popHead = %d", h.Seq)
 	}
-	rest := q.drain()
+	rest := q.Drain()
 	if len(rest) != 2 || rest[0].Seq != uint32(5*units.MSS) || rest[1].Seq != uint32(8*units.MSS) {
 		t.Fatalf("drain = %v", rest)
 	}
-	if !q.empty() {
+	if !q.Empty() {
 		t.Fatal("queue should be empty after drain")
 	}
 }
@@ -142,16 +145,16 @@ func TestOOOPopHeadAndDrainOrder(t *testing.T) {
 // inserted bytes.
 func TestPropertyOOOQueueInvariant(t *testing.T) {
 	f := func(order []uint8) bool {
-		var q oooQueue
+		var q SegList
 		seen := map[int]bool{}
 		for _, o := range order {
 			s := int(o) % 128
-			res, _ := q.insert(dataPkt(s))
+			res, _ := q.Insert(dataPkt(s))
 			if seen[s] {
-				if res != insDuplicate {
+				if res != InsDuplicate {
 					return false
 				}
-			} else if res == insDuplicate {
+			} else if res == InsDuplicate {
 				return false
 			}
 			seen[s] = true
@@ -191,11 +194,11 @@ func TestPropertyOOOCoalesce(t *testing.T) {
 			jdx := int(p) % n
 			order[i], order[jdx] = order[jdx], order[i]
 		}
-		var q oooQueue
+		var q SegList
 		for _, s := range order {
-			q.insert(dataPkt(s))
+			q.Insert(dataPkt(s))
 		}
-		return q.len() == 1 && q.head().Pkts == n
+		return q.Len() == 1 && q.Head().Pkts == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -203,16 +206,16 @@ func TestPropertyOOOCoalesce(t *testing.T) {
 }
 
 func TestOOOFindInsertPosWraparound(t *testing.T) {
-	var q oooQueue
+	var q SegList
 	nearWrap := &packet.Packet{Flow: testFlow, Seq: ^uint32(0) - uint32(units.MSS) + 1, PayloadLen: units.MSS}
 	afterWrap := &packet.Packet{Flow: testFlow, Seq: 0, PayloadLen: units.MSS}
-	q.insert(afterWrap)
-	q.insert(nearWrap)
+	q.Insert(afterWrap)
+	q.Insert(nearWrap)
 	q.checkInvariants(t)
-	if q.len() != 1 {
-		t.Fatalf("wraparound-contiguous packets should merge, len=%d", q.len())
+	if q.Len() != 1 {
+		t.Fatalf("wraparound-contiguous packets should merge, len=%d", q.Len())
 	}
-	if q.head().Seq != nearWrap.Seq {
-		t.Fatalf("head seq = %d", q.head().Seq)
+	if q.Head().Seq != nearWrap.Seq {
+		t.Fatalf("head seq = %d", q.Head().Seq)
 	}
 }

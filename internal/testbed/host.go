@@ -188,6 +188,7 @@ func (h *Host) makeOffload(queue int) gro.Offload {
 	switch h.cfg.Offload {
 	case OffloadVanilla:
 		g := gro.NewVanilla(h.onSegment)
+		g.UsePool(h.segPool)
 		if h.tel != nil {
 			g.Instrument(h.tel)
 		}
@@ -197,9 +198,13 @@ func (h *Host) makeOffload(queue int) gro.Offload {
 		h.Jugglers = append(h.Jugglers, j)
 		return j
 	case OffloadLinkedList:
-		return gro.NewLinkedList(h.onSegment)
+		g := gro.NewLinkedList(h.onSegment)
+		g.UsePool(h.segPool)
+		return g
 	case OffloadNone:
-		return gro.NewNull(h.onSegment)
+		g := gro.NewNull(h.onSegment)
+		g.UsePool(h.segPool)
+		return g
 	}
 	panic(fmt.Sprintf("testbed: unknown offload kind %d", h.cfg.Offload))
 }

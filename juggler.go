@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"juggler/internal/core"
+	"juggler/internal/reasm"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
 )
@@ -98,6 +99,11 @@ type Tuning struct {
 	// MaxFlows bounds the per-RX-queue flow table (8 suffices for
 	// per-packet load balancing; 64 covers ~1ms of reordering).
 	MaxFlows int
+	// Backend names the reassembly backend buffering each flow's
+	// out-of-order packets: "seglist" (default, also ""), "batchsort",
+	// "bitmap", or "ring". See internal/reasm; unknown names panic at
+	// configuration time.
+	Backend string
 }
 
 // DefaultTuning returns the paper's recommended tuning for a line rate:
@@ -123,6 +129,11 @@ func (t Tuning) coreConfig() core.Config {
 	if t.MaxFlows > 0 {
 		cfg.MaxFlows = t.MaxFlows
 	}
+	k, err := reasm.ParseKind(t.Backend)
+	if err != nil {
+		panic("juggler: " + err.Error())
+	}
+	cfg.Backend = k
 	return cfg
 }
 
