@@ -43,6 +43,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce bit-identical tables)")
 	workers := flag.Int("j", 1, "sweep worker goroutines per experiment (0 = one per core); output is identical at any width")
 	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
+	adapt := flag.Bool("adapt", false, "attach the self-tuning controller to every receiver")
+	inseq := flag.Duration("inseq", 0, "override starting inseq_timeout (0 = experiment default)")
+	ofo := flag.Duration("ofo", 0, "override starting ofo_timeout (0 = experiment default)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 	pf := prof.Register(flag.CommandLine)
@@ -78,7 +81,7 @@ func main() {
 		start := time.Now()
 		rep := juggler.RunExperimentCfg(id, juggler.RunConfig{
 			Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers),
-			Backend: *backend,
+			Backend: *backend, Adapt: *adapt, Inseq: *inseq, Ofo: *ofo,
 		})
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "juggler-bench: unknown experiment %q (try -list)\n", id)

@@ -46,6 +46,9 @@ func run() error {
 	stack := flag.String("stack", "juggler", "receive offload under test: juggler, vanilla, linkedlist, none")
 	intensity := flag.Float64("intensity", 1, "fault-level multiplier over each scenario's default")
 	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
+	adapt := flag.Bool("adapt", false, "self-tune receiver timeouts online (-inseq/-ofo become starting points)")
+	inseq := flag.Duration("inseq", 0, "Juggler inseq_timeout starting value (0 = scenario default)")
+	ofo := flag.Duration("ofo", 0, "Juggler ofo_timeout starting value (0 = scenario default)")
 	quick := flag.Bool("quick", false, "shrink transfer sizes (~4x faster)")
 	workers := flag.Int("j", 1, "scenario worker goroutines (0 = one per core); output is identical at any width")
 	list := flag.Bool("list", false, "list scenarios and exit")
@@ -78,7 +81,8 @@ func run() error {
 	// Each scenario is an independent simulation, so they fan out across
 	// workers; rendering into per-scenario buffers and printing by index
 	// keeps the output byte-identical to the serial run.
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Backend: bk}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Backend: bk,
+		Adapt: *adapt, Inseq: *inseq, Ofo: *ofo}
 	type result struct {
 		out bytes.Buffer
 		bad bool

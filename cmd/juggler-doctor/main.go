@@ -49,6 +49,7 @@ import (
 	"juggler/internal/jsonschema"
 	"juggler/internal/packet"
 	"juggler/internal/prof"
+	"juggler/internal/reasm"
 	"juggler/internal/replay"
 	"juggler/internal/sim"
 	"juggler/internal/sweep"
@@ -63,6 +64,8 @@ func main() {
 	scenario := flag.String("scenario", "reorder", "chaos scenario to diagnose, or 'all' (see -list)")
 	stack := flag.String("stack", "juggler", "receive-offload stack under test: juggler, vanilla or none")
 	intensity := flag.Float64("intensity", 1, "fault intensity multiplier (1.0 = catalog default)")
+	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
+	adaptFlag := flag.Bool("adapt", false, "attach the self-tuning controller; its retunes join the diagnosis")
 	quick := flag.Bool("quick", false, "shrink the transfers (~4x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical reports)")
 	workers := flag.Int("j", 1, "scenario worker goroutines for -scenario all (0 = one per core); reports are identical at any width")
@@ -85,11 +88,16 @@ func main() {
 	}
 	defer pf.Stop()
 
+	bk, err := reasm.ParseKind(*backend)
+	if err != nil {
+		fatal(err)
+	}
+
 	var diags []*telemetry.Diagnosis
 	var sinks []*telemetry.Sink
 
 	if *replayPath != "" {
-		sink, diag := diagnoseReplay(*replayPath, *seed)
+		sink, diag := diagnoseReplay(*replayPath, *seed, bk)
 		diags, sinks = []*telemetry.Diagnosis{diag}, []*telemetry.Sink{sink}
 	} else {
 		names := []string{*scenario}
@@ -100,7 +108,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity, *workers)
+		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity, *workers, bk, *adaptFlag)
 	}
 
 	human := os.Stdout
@@ -157,11 +165,11 @@ func main() {
 // attached and returns the diagnoses in name order. The sweep runs on
 // -j workers; results are committed by index, so the output is identical
 // at any width.
-func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, quick bool, intensity float64, workers int) ([]*telemetry.Diagnosis, []*telemetry.Sink) {
+func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, quick bool, intensity float64, workers int, bk reasm.Kind, adapt bool) ([]*telemetry.Diagnosis, []*telemetry.Sink) {
 	sinks := make([]*telemetry.Sink, len(names))
 	reps := make([]*experiments.ChaosReport, len(names))
 	sweep.Map(sweep.Workers(workers), len(names), func(i int) struct{} {
-		o := experiments.Options{Seed: seed, Quick: quick, Workers: 1}
+		o := experiments.Options{Seed: seed, Quick: quick, Workers: 1, Backend: bk, Adapt: adapt}
 		o.AttachTelemetry = func(s *sim.Sim) { sinks[i] = telemetry.New(s, telemetry.Options{}) }
 		rep, err := experiments.RunChaosScenario(names[i], kind, o, intensity)
 		if err != nil {
@@ -190,7 +198,7 @@ func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, qui
 // packets are stamped at the gro-buffer hop and deliveries at the deliver
 // hop, so the attribution covers the gro_table hold span — the only layer
 // a standalone replay exercises.
-func diagnoseReplay(path string, seed int64) (*telemetry.Sink, *telemetry.Diagnosis) {
+func diagnoseReplay(path string, seed int64, bk reasm.Kind) (*telemetry.Sink, *telemetry.Diagnosis) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -206,7 +214,9 @@ func diagnoseReplay(path string, seed int64) (*telemetry.Sink, *telemetry.Diagno
 	s := sim.New(seed)
 	sink := telemetry.New(s, telemetry.Options{})
 	if len(tr.Packets) > 0 {
-		j := core.New(s, core.DefaultConfig(), func(seg *packet.Segment) {
+		jcfg := core.DefaultConfig()
+		jcfg.Backend = bk
+		j := core.New(s, jcfg, func(seg *packet.Segment) {
 			packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
 			sink.ObserveDelivery(seg)
 		})

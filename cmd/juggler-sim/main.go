@@ -76,6 +76,7 @@ func run() error {
 	inseq := flag.Duration("inseq", 0, "Juggler inseq_timeout (0 = rate default)")
 	ofo := flag.Duration("ofo", 0, "Juggler ofo_timeout (0 = 50us default)")
 	maxFlows := flag.Int("maxflows", 64, "Juggler gro_table size")
+	adapt := flag.Bool("adapt", false, "self-tune the timeouts online (-inseq/-ofo become starting points)")
 	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	flows := flag.Int("flows", 1, "number of concurrent bulk flows")
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration (after 50ms warm-up)")
@@ -117,6 +118,7 @@ func run() error {
 		tun.OfoTimeout = *ofo
 	}
 	tun.MaxFlows = *maxFlows
+	tun.Adapt = *adapt
 	if _, err := reasm.ParseKind(*backend); err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ import (
 	"juggler/internal/core"
 	"juggler/internal/experiments"
 	"juggler/internal/packet"
+	"juggler/internal/reasm"
 	"juggler/internal/replay"
 	"juggler/internal/sim"
 	"juggler/internal/sweep"
@@ -46,6 +47,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical exports)")
 	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); table and exports are identical at any width")
+	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	traceOut := flag.String("trace", "trace.json", "write Perfetto/Chrome trace-event JSON here ('' disables)")
 	pcapOut := flag.String("pcap", "", "write a pcapng packet capture here")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot here")
@@ -62,13 +64,19 @@ func main() {
 		return
 	}
 
+	bk, err := reasm.ParseKind(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-trace:", err)
+		os.Exit(1)
+	}
+
 	opts := telemetry.Options{EventCap: *eventCap, FabricQueues: *fabricQueues}
 	var sink *telemetry.Sink
 
 	if *replayPath != "" {
-		sink = runReplay(*replayPath, *seed, opts)
+		sink = runReplay(*replayPath, *seed, bk, opts)
 	} else {
-		o := experiments.Options{Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers)}
+		o := experiments.Options{Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers), Backend: bk}
 		o.AttachTelemetry = func(s *sim.Sim) { sink = telemetry.New(s, opts) }
 		t := experiments.Run(*exp, o)
 		if t == nil {
@@ -114,7 +122,7 @@ func main() {
 
 // runReplay feeds a parsed packet trace through a standalone Juggler with
 // telemetry attached (the juggler-replay apparatus, export-oriented).
-func runReplay(path string, seed int64, opts telemetry.Options) *telemetry.Sink {
+func runReplay(path string, seed int64, bk reasm.Kind, opts telemetry.Options) *telemetry.Sink {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "juggler-trace:", err)
@@ -133,7 +141,9 @@ func runReplay(path string, seed int64, opts telemetry.Options) *telemetry.Sink 
 	s := sim.New(seed)
 	sink := telemetry.New(s, opts)
 	iface := sink.Iface("replay")
-	j := core.New(s, core.DefaultConfig(), func(seg *packet.Segment) {})
+	jcfg := core.DefaultConfig()
+	jcfg.Backend = bk
+	j := core.New(s, jcfg, func(seg *packet.Segment) {})
 	for _, tp := range tr.Packets {
 		tp := tp
 		s.Schedule(tp.At, func() {

@@ -3,6 +3,7 @@ package juggler
 import (
 	"encoding/csv"
 	"io"
+	"time"
 
 	"juggler/internal/experiments"
 	"juggler/internal/reasm"
@@ -62,6 +63,14 @@ type RunConfig struct {
 	// "seglist" (default, also ""), "batchsort", "bitmap", or "ring".
 	// Unknown names panic at configuration time.
 	Backend string
+	// Adapt attaches the internal/adapt controller to every receiver:
+	// timeouts become starting points that self-tune against the live
+	// reordering estimate.
+	Adapt bool
+	// Inseq/Ofo override the experiment's starting inseq/ofo timeouts
+	// (0 keeps each experiment's own provisioning).
+	Inseq time.Duration
+	Ofo   time.Duration
 }
 
 // RunExperiment regenerates one table/figure of the paper's evaluation.
@@ -83,6 +92,7 @@ func RunExperimentCfg(id string, cfg RunConfig) *Report {
 	}
 	t := experiments.Run(id, experiments.Options{
 		Seed: cfg.Seed, Quick: cfg.Quick, Workers: cfg.Workers, Backend: bk,
+		Adapt: cfg.Adapt, Inseq: cfg.Inseq, Ofo: cfg.Ofo,
 	})
 	if t == nil {
 		return nil

@@ -336,6 +336,58 @@ func (j *Juggler) Telemetry() *telemetry.Sink { return j.tel }
 // Config returns the instance's configuration.
 func (j *Juggler) Config() Config { return j.cfg }
 
+// Retune is one live tuning adjustment from the adapt controller. Zero
+// fields leave the corresponding knob unchanged (MaxIdleFlows 0 means
+// "no idle-list bound", the static default).
+type Retune struct {
+	InseqTimeout time.Duration
+	OfoTimeout   time.Duration
+	// MaxIdleFlows, when positive, trims the inactive (post-merge) list
+	// down to this many entries, evicting oldest-first — the adaptive
+	// eviction-aggressiveness knob for quiet fabrics.
+	MaxIdleFlows int
+}
+
+// Retune applies a live tuning adjustment. Changing a timeout re-files
+// every flow holding packets under its new deadline (holdStart anchors
+// are untouched — only the budget measured from them changes) and
+// re-arms the timer, so the deadline-queue invariant holds across the
+// transition; a deadline pulled into the past simply fires on the next
+// timer pop. Trimming evicts inactive flows oldest-first; their queues
+// are empty by the post-merge invariant, so no data moves.
+func (j *Juggler) Retune(r Retune) {
+	changed := false
+	if r.InseqTimeout > 0 && r.InseqTimeout != j.cfg.InseqTimeout {
+		j.cfg.InseqTimeout = r.InseqTimeout
+		changed = true
+	}
+	if r.OfoTimeout > 0 && r.OfoTimeout != j.cfg.OfoTimeout {
+		j.cfg.OfoTimeout = r.OfoTimeout
+		changed = true
+	}
+	if changed {
+		refile := func(l *flowList) {
+			for e := l.head; e != nil; e = e.next {
+				if !e.ooo.Empty() {
+					j.dq.Update(e, j.flowDeadline(e))
+				}
+			}
+		}
+		refile(&j.active)
+		refile(&j.loss)
+		j.rearm(j.sim.Now(), j.dq.MinDeadline())
+	}
+	if r.MaxIdleFlows > 0 {
+		for j.inactive.n > r.MaxIdleFlows {
+			j.Stats.EvictionsInactive++
+			j.evict(j.inactive.head, CauseIdleTrim)
+		}
+	}
+	if j.Probe != nil {
+		j.Probe()
+	}
+}
+
 // Counters implements gro.Offload.
 func (j *Juggler) Counters() gro.Counters { return j.c }
 
@@ -658,6 +710,11 @@ const (
 	CauseOfo      = "ofo_timeout"   // row 6
 	CauseEvict    = "evict"         // table-full eviction drained the flow
 	CauseFinal    = "final"         // teardown Flush()
+
+	// Eviction causes: the table ran out of entries, or the adapt
+	// controller trimmed the inactive list while the fabric was quiet.
+	CauseTableFull = "table-full"
+	CauseIdleTrim  = "idle-trim"
 )
 
 // decide records one forensic decision through the telemetry sink and the
@@ -1036,16 +1093,17 @@ func (j *Juggler) evictOne() {
 	if victim == nil {
 		panic("core: eviction with empty table")
 	}
-	j.evict(victim)
+	j.evict(victim, CauseTableFull)
 }
 
 // evict removes the flow, flushes all its packets to higher layers, and
-// recycles the entry through the free list.
-func (j *Juggler) evict(e *flowEntry) {
+// recycles the entry through the free list. cause names why for the
+// forensics ring (table-full pressure vs adaptive idle trimming).
+func (j *Juggler) evict(e *flowEntry, cause string) {
 	j.mEvictions.Inc()
 	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
 		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
-	j.decide(e, telemetry.Decision{Op: telemetry.OpEvict, Cause: "table-full",
+	j.decide(e, telemetry.Decision{Op: telemetry.OpEvict, Cause: cause,
 		Seq: e.seqNext, EndSeq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
 	j.buffered -= e.ooo.Bytes()
 	j.bufferedPkts -= e.ooo.Pkts()

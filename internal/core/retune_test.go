@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"juggler/internal/packet"
+	"juggler/internal/units"
+)
+
+// TestRetuneExtendsOfoDeadline: raising ofo_timeout while a hole is open
+// must re-file the flow's deadline so the straggler gets the new budget —
+// without a re-file the old deadline would still fire.
+func TestRetuneExtendsOfoDeadline(t *testing.T) {
+	h := newHarness(cfgTest()) // ofo = 50us
+	h.recv(dataPkt(0))
+	h.recv(dataPkt(2)) // hole at packet 1
+	h.run(30 * time.Microsecond)
+
+	h.j.Retune(Retune{OfoTimeout: 500 * time.Microsecond})
+	h.run(170 * time.Microsecond) // now 200us: past old deadline, under new
+
+	if h.j.Stats.OfoTimeouts != 0 {
+		t.Fatalf("hole expired %d times despite the extended budget", h.j.Stats.OfoTimeouts)
+	}
+	if err := h.j.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after retune: %v", err)
+	}
+
+	// The straggler lands inside the new budget and everything delivers.
+	h.recv(dataPkt(1))
+	h.run(time.Millisecond)
+	var bytes int
+	for _, seg := range h.segs {
+		bytes += seg.Bytes
+	}
+	if want := 3 * units.MSS; bytes != want {
+		t.Fatalf("delivered %d bytes, want %d", bytes, want)
+	}
+	if h.j.Stats.OfoTimeouts != 0 {
+		t.Fatalf("straggler inside the retuned budget still expired the hole")
+	}
+}
+
+// TestRetuneShortensOfoDeadline: the re-file works downward too — an
+// over-provisioned deadline collapses to the new, tighter budget.
+func TestRetuneShortensOfoDeadline(t *testing.T) {
+	cfg := cfgTest()
+	cfg.OfoTimeout = 500 * time.Microsecond
+	h := newHarness(cfg)
+	h.recv(dataPkt(0))
+	h.recv(dataPkt(2))
+	h.run(30 * time.Microsecond)
+
+	h.j.Retune(Retune{OfoTimeout: 50 * time.Microsecond})
+	h.run(170 * time.Microsecond) // now 200us: far short of the old 500us
+
+	if h.j.Stats.OfoTimeouts != 1 {
+		t.Fatalf("ofo timeouts = %d, want 1 under the shortened budget", h.j.Stats.OfoTimeouts)
+	}
+	if err := h.j.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after retune: %v", err)
+	}
+}
+
+// TestRetuneTrimsIdleFlows: MaxIdleFlows evicts the inactive (post-merge)
+// list down to the bound, oldest first, and a zero-value Retune is a no-op.
+func TestRetuneTrimsIdleFlows(t *testing.T) {
+	cfg := cfgTest()
+	cfg.MaxFlows = 32
+	h := newHarness(cfg)
+
+	// Six flows each deliver a short in-order burst, drain, and go idle.
+	for f := 0; f < 6; f++ {
+		ft := packet.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: uint16(100 + f), DstPort: 4, Proto: packet.ProtoTCP}
+		for i := 0; i < 3; i++ {
+			h.recv(&packet.Packet{Flow: ft, Seq: uint32(i * units.MSS),
+				PayloadLen: units.MSS, Flags: packet.FlagACK})
+		}
+	}
+	h.run(time.Millisecond)
+	if n := h.j.InactiveLen(); n != 6 {
+		t.Fatalf("inactive list = %d flows after drain, want 6", n)
+	}
+
+	h.j.Retune(Retune{}) // no-op
+	if n := h.j.InactiveLen(); n != 6 {
+		t.Fatalf("zero-value Retune changed the inactive list: %d flows", n)
+	}
+
+	h.j.Retune(Retune{MaxIdleFlows: 2})
+	if n := h.j.InactiveLen(); n != 2 {
+		t.Fatalf("inactive list = %d flows after trim, want 2", n)
+	}
+	if h.j.Stats.EvictionsInactive != 4 {
+		t.Fatalf("idle evictions = %d, want 4", h.j.Stats.EvictionsInactive)
+	}
+	if err := h.j.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after trim: %v", err)
+	}
+}

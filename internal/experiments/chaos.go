@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"juggler/internal/adapt"
 	"juggler/internal/chaos"
 	"juggler/internal/core"
 	"juggler/internal/fabric"
@@ -288,7 +289,17 @@ func runChaos(spec chaosScenario, kind testbed.OffloadKind, o Options, intensity
 	jcfg.InseqTimeout = 52 * time.Microsecond // max-batch time at 10G
 	jcfg.OfoTimeout = spec.maxExtra + 300*time.Microsecond
 	jcfg.Backend = o.Backend
+	if o.Inseq > 0 {
+		jcfg.InseqTimeout = o.Inseq
+	}
+	if o.Ofo > 0 {
+		jcfg.OfoTimeout = o.Ofo
+	}
 	rcvCfg.Juggler = jcfg
+	if o.Adapt {
+		ac := adapt.DefaultConfig()
+		rcvCfg.Adapt = &ac
+	}
 
 	sndCfg := testbed.DefaultHostConfig(testbed.OffloadVanilla)
 	sndCfg.LinkRate = rate

@@ -47,6 +47,18 @@ type Options struct {
 	// (the CLIs' -backend flag). The zero value is the default seglist
 	// backend, preserving byte-identical output for existing experiments.
 	Backend reasm.Kind
+
+	// Adapt attaches the internal/adapt detector+controller to every
+	// Juggler receiver (the CLIs' -adapt flag): the configured timeouts
+	// become the starting point and the controller retunes them from live
+	// reordering estimates. The zero value preserves byte-identical output
+	// for existing experiments.
+	Adapt bool
+
+	// Inseq / Ofo override the receiver's inseq_timeout / ofo_timeout
+	// starting values (the CLIs' -inseq/-ofo flags). Zero keeps each
+	// experiment's own provisioning rule.
+	Inseq, Ofo time.Duration
 }
 
 // DefaultOptions is the full-fidelity configuration.

@@ -10,7 +10,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig9", "fig10", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig18", "fig20", "latency", "lossofo", "chaos",
 		"abl-linkedlist", "abl-buildup", "abl-eviction", "abl-conntrack", "abl-worstcase",
-		"ext-flowlet", "ext-websearch", "ext-rss", "ext-sctp"}
+		"ext-flowlet", "ext-websearch", "ext-rss", "ext-sctp", "adaptive"}
 	ids := IDs()
 	for _, w := range want {
 		found := false

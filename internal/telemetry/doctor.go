@@ -122,6 +122,11 @@ type Diagnosis struct {
 	Spans              []SpanReport    `json:"spans"`
 	Slowest            []SlowReport    `json:"slowest,omitempty"`
 	Decisions          []OpReport      `json:"decisions,omitempty"`
+	// Retunes excerpts the host-scoped decision ring: the adapt
+	// controller's knob changes, oldest first (RetuneTotal is exact even
+	// when the ring rotated).
+	RetuneTotal        int64            `json:"retune_total,omitempty"`
+	Retunes            []DecisionReport `json:"retunes,omitempty"`
 	TruncatedFlows     int64           `json:"truncated_decisions"`
 	AnomalyTotal       int64           `json:"anomaly_total"`
 	Anomalies          []AnomalyReport `json:"anomalies,omitempty"`
@@ -139,6 +144,9 @@ const diagnosisFlowCap = 32
 
 // lastDecisionCap bounds the audit-ring excerpt per flow report.
 const lastDecisionCap = 8
+
+// retuneReportCap bounds the host-scoped retune excerpt.
+const retuneReportCap = 32
 
 // Diagnose aggregates the sink's forensic state into a Diagnosis.
 func (k *Sink) Diagnose(meta DiagnosisMeta) *Diagnosis {
@@ -190,6 +198,17 @@ func (k *Sink) Diagnose(meta DiagnosisMeta) *Diagnosis {
 			continue
 		}
 		d.Decisions = append(d.Decisions, opReport(Op(op), f.opTotal[op], f.causes[op]))
+	}
+
+	d.RetuneTotal = f.GlobalTotal
+	retunes := f.GlobalDecisions()
+	if len(retunes) > retuneReportCap {
+		retunes = retunes[len(retunes)-retuneReportCap:]
+	}
+	for _, dec := range retunes {
+		d.Retunes = append(d.Retunes, DecisionReport{
+			AtNs: int64(dec.At), Layer: dec.Layer.String(), Op: dec.Op.String(),
+			Cause: dec.Cause, N: dec.N, Note: dec.Note})
 	}
 
 	for _, a := range f.Anomalies() {
@@ -329,6 +348,14 @@ func (d *Diagnosis) Fprint(w io.Writer) {
 		}
 	}
 
+	if len(d.Retunes) > 0 {
+		fmt.Fprintf(w, "\ncontroller retunes (%d total, %d shown):\n", d.RetuneTotal, len(d.Retunes))
+		for _, r := range d.Retunes {
+			fmt.Fprintf(w, "  %-12v %-6s %s -> %v\n",
+				time.Duration(r.AtNs), r.Cause, r.Note, time.Duration(r.N))
+		}
+	}
+
 	if len(d.Anomalies) > 0 {
 		fmt.Fprintf(w, "\nanomalies (%d total, %d shown):\n", d.AnomalyTotal, len(d.Anomalies))
 		for _, a := range d.Anomalies {
@@ -409,6 +436,8 @@ func plural(op string, n int64) string {
 		return "timeouts"
 	case "pass":
 		return "passes"
+	case "retune":
+		return "retunes"
 	}
 	return op + "s"
 }

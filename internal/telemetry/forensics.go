@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"juggler/internal/packet"
@@ -28,11 +29,15 @@ const (
 	// OpPass: a packet bypassed buffering (retransmission, duplicate,
 	// pass-through control packet).
 	OpPass
+	// OpRetune: the adapt controller changed a tuning knob. Retune
+	// decisions are host-scoped, not flow-scoped: they land in the global
+	// decision ring rather than a per-flow audit ring.
+	OpRetune
 	// NumOps sizes per-op arrays.
-	NumOps = int(OpPass) + 1
+	NumOps = int(OpRetune) + 1
 )
 
-var opNames = [NumOps]string{"flush", "phase", "evict", "timeout", "pass"}
+var opNames = [NumOps]string{"flush", "phase", "evict", "timeout", "pass", "retune"}
 
 // String names the op.
 func (o Op) String() string {
@@ -230,6 +235,13 @@ type Forensics struct {
 	// which were tallied globally but kept no audit ring.
 	TruncatedDecisions int64
 
+	// Global (host-scoped) decision ring: decisions that are not about
+	// any one flow — today the adapt controller's retunes. Bounded like
+	// the per-flow rings; GlobalTotal keeps the exact count past it.
+	global      []Decision
+	globalNext  int
+	GlobalTotal int64
+
 	// Watchdog.
 	anomalies    []Anomaly
 	anomalyTotal int64
@@ -237,6 +249,11 @@ type Forensics struct {
 	evictWinAt   sim.Time
 	evictInWin   int64
 }
+
+// globalRingCap bounds the host-scoped decision ring. Retunes are rare
+// by construction (hysteresis + bounded steps), so this keeps hours of
+// virtual time.
+const globalRingCap = 128
 
 func newForensics(k *Sink, o ForensicsOptions) *Forensics {
 	o = o.withDefaults()
@@ -270,6 +287,22 @@ func (f *Forensics) FlowState(ft packet.FiveTuple) *FlowForensics {
 		return nil
 	}
 	return f.flows[ft]
+}
+
+// GlobalDecisions returns the retained host-scoped decisions (adapt
+// retunes), oldest first. GlobalTotal may be larger when the ring
+// rotated.
+func (f *Forensics) GlobalDecisions() []Decision {
+	if f == nil || f.GlobalTotal == 0 {
+		return nil
+	}
+	n := len(f.global)
+	out := make([]Decision, 0, n)
+	if f.GlobalTotal < int64(n) {
+		return append(out, f.global[:f.GlobalTotal]...)
+	}
+	out = append(out, f.global[f.globalNext:]...)
+	return append(out, f.global[:f.globalNext]...)
 }
 
 // Anomalies returns the retained watchdog findings (AnomalyTotal may be
@@ -345,6 +378,20 @@ func (f *Forensics) decide(d Decision) {
 			f.causes[op] = m
 		}
 		m[d.Cause]++
+	}
+
+	if op == OpRetune {
+		// Host-scoped: no flow, no per-flow ring, no watchdog windows.
+		if f.global == nil {
+			f.global = make([]Decision, globalRingCap)
+		}
+		f.global[f.globalNext] = d
+		f.globalNext++
+		if f.globalNext == len(f.global) {
+			f.globalNext = 0
+		}
+		f.GlobalTotal++
+		return
 	}
 
 	fe := f.flowFor(d.Flow)
@@ -465,9 +512,16 @@ func (f *Forensics) Explain(w io.Writer, ft packet.FiveTuple, seq uint32) (match
 	}
 	fmt.Fprintf(w, "flow %v seq %d — %d decisions recorded (ring keeps last %d):\n",
 		ft, seq, fe.Total, len(fe.ring))
-	for _, d := range fe.Decisions() {
-		about := d.covers(seq)
-		flowScoped := d.Op == OpPhase || d.Op == OpEvict || d.Op == OpTimeout
+	// Host-scoped retunes interleave as context: a timeout change often
+	// explains why a later flush fired (or stopped firing).
+	decs := fe.Decisions()
+	if g := f.GlobalDecisions(); len(g) > 0 {
+		decs = append(decs, g...)
+		sort.SliceStable(decs, func(i, j int) bool { return decs[i].At < decs[j].At })
+	}
+	for _, d := range decs {
+		about := d.Op != OpRetune && d.covers(seq)
+		flowScoped := d.Op == OpPhase || d.Op == OpEvict || d.Op == OpTimeout || d.Op == OpRetune
 		if !about && !flowScoped {
 			continue
 		}

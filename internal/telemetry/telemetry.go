@@ -90,6 +90,9 @@ const (
 	KindCwnd
 	// KindEnqueue is a fabric enqueue occupancy sample (N = queued bytes).
 	KindEnqueue
+	// KindRetune is an adapt-controller knob change (N = new value in ns,
+	// note names the knob).
+	KindRetune
 	numKinds
 )
 
@@ -124,6 +127,8 @@ func (k Kind) String() string {
 		return "cwnd"
 	case KindEnqueue:
 		return "enqueue"
+	case KindRetune:
+		return "retune"
 	}
 	return "?"
 }

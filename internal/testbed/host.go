@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"juggler/internal/adapt"
 	"juggler/internal/core"
 	"juggler/internal/cpumodel"
 	"juggler/internal/fabric"
@@ -63,6 +64,13 @@ type HostConfig struct {
 	// Juggler tunes the Juggler instances (used when Offload is
 	// OffloadJuggler).
 	Juggler core.Config
+	// Adapt, when non-nil, enables the online reordering detector and
+	// self-tuning controller (internal/adapt) over the host's Juggler
+	// instances: every received packet feeds the sketch, and the
+	// controller drives the timeouts from its live estimates. Ignored for
+	// non-Juggler offloads. BatchTime, when zero, is derived from
+	// LinkRate (the §5.2.1 64 KB-batch rule).
+	Adapt *adapt.Config
 	// Costs is the CPU cost table (DefaultCosts when zero).
 	Costs cpumodel.Costs
 	// AppBacklogLimit bounds the app core's queued work; segments beyond
@@ -106,6 +114,10 @@ type Host struct {
 	// Jugglers holds the per-RX-queue Juggler instances when the host
 	// runs OffloadJuggler (for flow-table statistics).
 	Jugglers []*core.Juggler
+
+	// Adapt is the host's self-tuning controller (nil unless
+	// HostConfig.Adapt enabled it on a Juggler host).
+	Adapt *adapt.Controller
 
 	receivers map[packet.FiveTuple]*tcp.Receiver
 	senders   map[packet.FiveTuple]*tcp.Sender // keyed by the ACK tuple
@@ -179,6 +191,13 @@ func NewHost(s *sim.Sim, name string, cfg HostConfig) *Host {
 	if h.cfg.RX.Name == "" {
 		h.cfg.RX.Name = name
 	}
+	if cfg.Adapt != nil && cfg.Offload == OffloadJuggler {
+		ac := *cfg.Adapt
+		if ac.BatchTime <= 0 {
+			ac.BatchTime = units.TxTimeNoOverhead(int64(units.TSOMaxBytes), cfg.LinkRate)
+		}
+		h.Adapt = adapt.NewController(s, ac)
+	}
 	h.RX = nic.NewRX(s, h.cfg.RX, h.CPU, h.makeOffload)
 	return h
 }
@@ -196,6 +215,11 @@ func (h *Host) makeOffload(queue int) gro.Offload {
 	case OffloadJuggler:
 		j := core.New(h.sim, h.cfg.Juggler, h.onSegment)
 		h.Jugglers = append(h.Jugglers, j)
+		if h.Adapt != nil {
+			// The adapt tap measures every packet before the core sees it
+			// and registers the instance as an actuation target.
+			return h.Adapt.Wrap(j)
+		}
 		return j
 	case OffloadLinkedList:
 		g := gro.NewLinkedList(h.onSegment)

@@ -104,6 +104,11 @@ type Tuning struct {
 	// "bitmap", or "ring". See internal/reasm; unknown names panic at
 	// configuration time.
 	Backend string
+	// Adapt enables the online reordering detector and self-tuning
+	// controller (internal/adapt): InseqTimeout/OfoTimeout become the
+	// starting point instead of fixed values, and the controller drives
+	// them from live skew estimates. Only meaningful for StackJuggler.
+	Adapt bool
 }
 
 // DefaultTuning returns the paper's recommended tuning for a line rate:

@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"juggler/internal/adapt"
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
@@ -68,6 +69,10 @@ func NewReorderPair(cfg ReorderPairConfig) *ReorderPair {
 	}
 	rcvCfg := testbed.DefaultHostConfig(cfg.Receiver.kind())
 	rcvCfg.Juggler = cfg.Tuning.coreConfig()
+	if cfg.Tuning.Adapt {
+		ac := adapt.DefaultConfig()
+		rcvCfg.Adapt = &ac
+	}
 	tb := testbed.NewNetFPGAPair(s, units.BitRate(cfg.Rate), cfg.ReorderDelay,
 		cfg.DropProb, testbed.DefaultHostConfig(testbed.OffloadVanilla), rcvCfg)
 	tb.Receiver.CPU.ResetWindows()
@@ -227,6 +232,18 @@ func (p *ReorderPair) WritePcap(w io.Writer) error {
 // WriteMetrics writes the run's metric snapshot in Prometheus text format.
 func (p *ReorderPair) WriteMetrics(w io.Writer) error {
 	return telemetry.FromSim(p.s).Reg().WriteProm(w)
+}
+
+// ReceiverTimeouts returns the receiver's current inseq/ofo timeouts —
+// with Tuning.Adapt these are the controller's live values, not the
+// configured starting point. Zeros for stacks without Juggler instances.
+func (p *ReorderPair) ReceiverTimeouts() (inseq, ofo time.Duration) {
+	js := p.tb.Receiver.Jugglers
+	if len(js) == 0 {
+		return 0, 0
+	}
+	c := js[0].Config()
+	return c.InseqTimeout, c.OfoTimeout
 }
 
 // ReceiverStats summarizes the receiving host.
