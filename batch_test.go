@@ -1,0 +1,142 @@
+package juggler
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"juggler/internal/experiments"
+	"juggler/internal/reasm"
+	"juggler/internal/sim"
+	"juggler/internal/telemetry"
+)
+
+// TestBatchMatchesScalar is the batch pipeline's determinism contract
+// checked end to end: handing the NAPI poll's drained batch to
+// Offload.ReceiveBatch must produce byte-identical runs to the scalar
+// per-packet Receive handoff (RXConfig.ScalarRx). The batch path defers
+// only work that schedules no simulation events — deadline-queue
+// re-files and the chaos probe — so the event sequence, and therefore
+// every export, is required to be literally identical.
+//
+// Coverage: two seeds x all four reassembly backends on the public
+// two-host apparatus (with drops and reordering so flush, hole and
+// retransmit paths all fire), comparing the Perfetto trace, the pcapng
+// capture and the metrics snapshot byte for byte.
+func TestBatchMatchesScalar(t *testing.T) {
+	backends := []string{"seglist", "batchsort", "bitmap", "ring"}
+	for _, seed := range []int64{5, 9} {
+		for _, backend := range backends {
+			t.Run(fmt.Sprintf("seed=%d/backend=%s", seed, backend), func(t *testing.T) {
+				run := func(scalar bool) (trace, pcap, prom []byte) {
+					tn := DefaultTuning(Rate10G)
+					tn.Backend = backend
+					p := NewReorderPair(ReorderPairConfig{
+						Seed:         seed,
+						ReorderDelay: 250 * time.Microsecond,
+						DropProb:     0.001,
+						Tuning:       tn,
+						Telemetry:    true,
+						ScalarRx:     scalar,
+					})
+					p.AddBulkFlow(0)
+					p.Run(8 * time.Millisecond)
+					var tb, pb, mb bytes.Buffer
+					if err := p.WriteTrace(&tb); err != nil {
+						t.Fatalf("WriteTrace: %v", err)
+					}
+					if err := p.WritePcap(&pb); err != nil {
+						t.Fatalf("WritePcap: %v", err)
+					}
+					if err := p.WriteMetrics(&mb); err != nil {
+						t.Fatalf("WriteMetrics: %v", err)
+					}
+					return tb.Bytes(), pb.Bytes(), mb.Bytes()
+				}
+
+				st, sp, sm := run(true) // scalar reference
+				bt, bp, bm := run(false)
+				if len(st) == 0 || len(sp) == 0 || len(sm) == 0 {
+					t.Fatalf("empty scalar export: trace=%d pcap=%d metrics=%d bytes",
+						len(st), len(sp), len(sm))
+				}
+				if !bytes.Equal(st, bt) {
+					t.Errorf("trace-event JSON differs between scalar and batch RX (%d vs %d bytes)", len(st), len(bt))
+				}
+				if !bytes.Equal(sp, bp) {
+					t.Errorf("pcapng capture differs between scalar and batch RX (%d vs %d bytes)", len(sp), len(bp))
+				}
+				if !bytes.Equal(sm, bm) {
+					t.Errorf("metrics snapshot differs between scalar and batch RX (%d vs %d bytes)", len(sm), len(bm))
+				}
+			})
+		}
+	}
+}
+
+// TestBatchMatchesScalarSweep extends the contract to the sweeping
+// apparatus: a fig6 sweep run with the batched receive pipeline — serial
+// AND on 8 workers — must render the same table and export the same
+// telemetry artifacts as the scalar-RX serial reference. This is the
+// batch analogue of TestParallelSweepDeterministic: the -j dimension
+// proves the batch path introduced no scheduling coupling between
+// concurrently-simulated points.
+func TestBatchMatchesScalarSweep(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		run := func(scalar bool, workers int) (table, trace, pcap, prom []byte) {
+			t.Helper()
+			var sink *telemetry.Sink
+			o := experiments.Options{Seed: seed, Quick: true, Workers: workers,
+				Backend: reasm.KindSegList, ScalarRx: scalar}
+			o.AttachTelemetry = func(s *sim.Sim) {
+				sink = telemetry.New(s, telemetry.Options{EventCap: 1 << 14})
+			}
+			tbl := experiments.Run("fig6", o)
+			if tbl == nil {
+				t.Fatalf("experiment fig6 not registered")
+			}
+			var tb bytes.Buffer
+			tbl.Fprint(&tb)
+			if sink == nil {
+				t.Fatalf("no telemetry sink attached (scalar=%v workers=%d)", scalar, workers)
+			}
+			var tr, pc, mb bytes.Buffer
+			if err := sink.WriteTrace(&tr); err != nil {
+				t.Fatalf("WriteTrace: %v", err)
+			}
+			if err := sink.WritePcap(&pc); err != nil {
+				t.Fatalf("WritePcap: %v", err)
+			}
+			if err := sink.Metrics.WriteProm(&mb); err != nil {
+				t.Fatalf("WriteProm: %v", err)
+			}
+			return tb.Bytes(), tr.Bytes(), pc.Bytes(), mb.Bytes()
+		}
+
+		rt, rtr, rpc, rpm := run(true, 1) // scalar serial reference
+		if len(rt) == 0 || len(rtr) == 0 || len(rpc) == 0 || len(rpm) == 0 {
+			t.Fatalf("seed %d: empty scalar reference: table=%d trace=%d pcap=%d metrics=%d bytes",
+				seed, len(rt), len(rtr), len(rpc), len(rpm))
+		}
+		for _, workers := range []int{1, 8} {
+			bt, btr, bpc, bpm := run(false, workers)
+			if !bytes.Equal(rt, bt) {
+				t.Errorf("seed %d: table differs between scalar -j 1 and batch -j %d:\n--- scalar ---\n%s--- batch ---\n%s",
+					seed, workers, rt, bt)
+			}
+			if !bytes.Equal(rtr, btr) {
+				t.Errorf("seed %d: trace-event JSON differs between scalar -j 1 and batch -j %d (%d vs %d bytes)",
+					seed, workers, len(rtr), len(btr))
+			}
+			if !bytes.Equal(rpc, bpc) {
+				t.Errorf("seed %d: pcapng capture differs between scalar -j 1 and batch -j %d (%d vs %d bytes)",
+					seed, workers, len(rpc), len(bpc))
+			}
+			if !bytes.Equal(rpm, bpm) {
+				t.Errorf("seed %d: metrics snapshot differs between scalar -j 1 and batch -j %d (%d vs %d bytes)",
+					seed, workers, len(rpm), len(bpm))
+			}
+		}
+	}
+}

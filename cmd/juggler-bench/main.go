@@ -46,6 +46,7 @@ func main() {
 	adapt := flag.Bool("adapt", false, "attach the self-tuning controller to every receiver")
 	inseq := flag.Duration("inseq", 0, "override starting inseq_timeout (0 = experiment default)")
 	ofo := flag.Duration("ofo", 0, "override starting ofo_timeout (0 = experiment default)")
+	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csvDir := flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 	pf := prof.Register(flag.CommandLine)
@@ -82,6 +83,7 @@ func main() {
 		rep := juggler.RunExperimentCfg(id, juggler.RunConfig{
 			Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers),
 			Backend: *backend, Adapt: *adapt, Inseq: *inseq, Ofo: *ofo,
+			StampSample: *stampSample,
 		})
 		if rep == nil {
 			fmt.Fprintf(os.Stderr, "juggler-bench: unknown experiment %q (try -list)\n", id)

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	juggler-benchrec [-o BENCH_07.json] [-sweep fig13] [-quick] [-j 0]
+//	juggler-benchrec [-o BENCH_08.json] [-sweep fig13] [-quick] [-j 0]
 //
 // The committed BENCH_NN.json at the repo root is this command's output;
 // CI regenerates it on every run and uploads it as an artifact. Numbers
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_07.json", "output path ('-' = stdout)")
+	out := flag.String("o", "BENCH_08.json", "output path ('-' = stdout)")
 	sweepID := flag.String("sweep", "fig13", "experiment to time serial vs parallel")
 	quick := flag.Bool("quick", false, "time the quick (~10x smaller) sweep instead of full fidelity")
 	workers := flag.Int("j", 0, "parallel width for the sweep timing (0 = one per core)")

@@ -50,6 +50,7 @@ func run() error {
 	inseq := flag.Duration("inseq", 0, "Juggler inseq_timeout starting value (0 = scenario default)")
 	ofo := flag.Duration("ofo", 0, "Juggler ofo_timeout starting value (0 = scenario default)")
 	quick := flag.Bool("quick", false, "shrink transfer sizes (~4x faster)")
+	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
 	workers := flag.Int("j", 1, "scenario worker goroutines (0 = one per core); output is identical at any width")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	flag.Parse()
@@ -82,7 +83,7 @@ func run() error {
 	// workers; rendering into per-scenario buffers and printing by index
 	// keeps the output byte-identical to the serial run.
 	opts := experiments.Options{Seed: *seed, Quick: *quick, Backend: bk,
-		Adapt: *adapt, Inseq: *inseq, Ofo: *ofo}
+		Adapt: *adapt, Inseq: *inseq, Ofo: *ofo, StampSample: *stampSample}
 	type result struct {
 		out bytes.Buffer
 		bad bool

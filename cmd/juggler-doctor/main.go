@@ -10,7 +10,7 @@
 //
 //	juggler-doctor [-scenario reorder|all] [-stack juggler|vanilla]
 //	               [-intensity F] [-quick] [-seed N] [-j N]
-//	               [-json out.json|-] [-check]
+//	               [-stamp-sample N] [-json out.json|-] [-check]
 //	               [-explain "flow=K seq=N"]
 //	juggler-doctor -replay run.txt [-json out.json] [-explain ...]
 //
@@ -67,6 +67,7 @@ func main() {
 	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	adaptFlag := flag.Bool("adapt", false, "attach the self-tuning controller; its retunes join the diagnosis")
 	quick := flag.Bool("quick", false, "shrink the transfers (~4x faster)")
+	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact); the rate is recorded in the JSON diagnosis")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical reports)")
 	workers := flag.Int("j", 1, "scenario worker goroutines for -scenario all (0 = one per core); reports are identical at any width")
 	jsonOut := flag.String("json", "", "write the JSON diagnosis here ('-' = stdout, suppressing the human report)")
@@ -97,7 +98,7 @@ func main() {
 	var sinks []*telemetry.Sink
 
 	if *replayPath != "" {
-		sink, diag := diagnoseReplay(*replayPath, *seed, bk)
+		sink, diag := diagnoseReplay(*replayPath, *seed, bk, *stampSample)
 		diags, sinks = []*telemetry.Diagnosis{diag}, []*telemetry.Sink{sink}
 	} else {
 		names := []string{*scenario}
@@ -108,7 +109,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity, *workers, bk, *adaptFlag)
+		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity, *workers, bk, *adaptFlag, *stampSample)
 	}
 
 	human := os.Stdout
@@ -165,11 +166,12 @@ func main() {
 // attached and returns the diagnoses in name order. The sweep runs on
 // -j workers; results are committed by index, so the output is identical
 // at any width.
-func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, quick bool, intensity float64, workers int, bk reasm.Kind, adapt bool) ([]*telemetry.Diagnosis, []*telemetry.Sink) {
+func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, quick bool, intensity float64, workers int, bk reasm.Kind, adapt bool, stampSample int) ([]*telemetry.Diagnosis, []*telemetry.Sink) {
 	sinks := make([]*telemetry.Sink, len(names))
 	reps := make([]*experiments.ChaosReport, len(names))
 	sweep.Map(sweep.Workers(workers), len(names), func(i int) struct{} {
-		o := experiments.Options{Seed: seed, Quick: quick, Workers: 1, Backend: bk, Adapt: adapt}
+		o := experiments.Options{Seed: seed, Quick: quick, Workers: 1, Backend: bk, Adapt: adapt,
+			StampSample: stampSample}
 		o.AttachTelemetry = func(s *sim.Sim) { sinks[i] = telemetry.New(s, telemetry.Options{}) }
 		rep, err := experiments.RunChaosScenario(names[i], kind, o, intensity)
 		if err != nil {
@@ -182,6 +184,7 @@ func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, qui
 	for i, rep := range reps {
 		d := sinks[i].Diagnose(telemetry.DiagnosisMeta{
 			Scenario: rep.Scenario, Stack: rep.Stack, Seed: rep.Seed, Intensity: rep.Intensity,
+			StampSample: stampSample,
 		})
 		// The chaos checker's end-to-end invariants outrank the watchdog:
 		// a violated run is never merely "anomalous".
@@ -198,7 +201,7 @@ func diagnoseScenarios(names []string, kind testbed.OffloadKind, seed int64, qui
 // packets are stamped at the gro-buffer hop and deliveries at the deliver
 // hop, so the attribution covers the gro_table hold span — the only layer
 // a standalone replay exercises.
-func diagnoseReplay(path string, seed int64, bk reasm.Kind) (*telemetry.Sink, *telemetry.Diagnosis) {
+func diagnoseReplay(path string, seed int64, bk reasm.Kind, stampSample int) (*telemetry.Sink, *telemetry.Diagnosis) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
@@ -212,18 +215,25 @@ func diagnoseReplay(path string, seed int64, bk reasm.Kind) (*telemetry.Sink, *t
 		fatal(fmt.Errorf("empty trace %s", path))
 	}
 	s := sim.New(seed)
+	packet.AttachStampSampler(s, stampSample)
 	sink := telemetry.New(s, telemetry.Options{})
 	if len(tr.Packets) > 0 {
 		jcfg := core.DefaultConfig()
 		jcfg.Backend = bk
 		j := core.New(s, jcfg, func(seg *packet.Segment) {
-			packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
-			sink.ObserveDelivery(seg)
+			if !seg.SkipStamps {
+				packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
+				sink.ObserveDelivery(seg)
+			}
 		})
+		// Sampling verdicts are taken in trace order at schedule time —
+		// replay has no sender NIC, so this stands in for the wire TX.
+		sampler := packet.StampSamplerFromSim(s)
 		for _, tp := range tr.Packets {
 			tp := tp
+			sampler.Apply(&tp.Pkt)
 			s.Schedule(tp.At, func() {
-				packet.Stamp(&tp.Pkt.Stamps, packet.HopGROBuffer, s.Now())
+				packet.StampPkt(&tp.Pkt, packet.HopGROBuffer, s.Now())
 				j.Receive(&tp.Pkt)
 			})
 		}

@@ -62,6 +62,7 @@ type pointConfig struct {
 	seed     int64
 	traceN   int
 	maxFlows int
+	sample   int
 }
 
 // run executes the simulation sweep and returns an error when any point
@@ -82,6 +83,7 @@ func run() error {
 	dur := flag.Duration("dur", 200*time.Millisecond, "measurement duration (after 50ms warm-up)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceN := flag.Int("trace", 0, "dump the last N Juggler events after each point (0 = off)")
+	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
 	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); output is identical at any width")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -126,7 +128,7 @@ func run() error {
 
 	cfg := pointConfig{kind: kind, rate: rate, tun: tun, drop: *drop,
 		flows: *flows, dur: *dur, seed: *seed, traceN: *traceN,
-		maxFlows: *maxFlows}
+		maxFlows: *maxFlows, sample: *stampSample}
 
 	// Each tau is an independent simulation; render each report into its
 	// own buffer and print them in list order so -j N output matches -j 1.
@@ -162,6 +164,7 @@ func runPoint(w io.Writer, cfg pointConfig, tau time.Duration) bool {
 	p := juggler.NewReorderPair(juggler.ReorderPairConfig{
 		Rate: cfg.rate, ReorderDelay: tau, DropProb: cfg.drop,
 		Receiver: cfg.kind, Tuning: cfg.tun, Seed: cfg.seed,
+		StampSample: cfg.sample,
 	})
 	if cfg.traceN > 0 {
 		p.EnableTrace(cfg.traceN)

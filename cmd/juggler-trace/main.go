@@ -54,6 +54,8 @@ func main() {
 	recordOut := flag.String("record", "", "write the recorded run (replayable 'ev' event lines) here")
 	eventCap := flag.Int("events", 1<<16, "flight-recorder capacity (events)")
 	fabricQueues := flag.Bool("fabric-queues", false, "also record per-enqueue fabric occupancy events")
+	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
+	scalarRx := flag.Bool("scalar-rx", false, "force the per-packet NIC->offload handoff (the batch pipeline's byte-identical reference)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -74,9 +76,10 @@ func main() {
 	var sink *telemetry.Sink
 
 	if *replayPath != "" {
-		sink = runReplay(*replayPath, *seed, bk, opts)
+		sink = runReplay(*replayPath, *seed, bk, opts, *stampSample)
 	} else {
-		o := experiments.Options{Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers), Backend: bk}
+		o := experiments.Options{Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers), Backend: bk,
+			StampSample: *stampSample, ScalarRx: *scalarRx}
 		o.AttachTelemetry = func(s *sim.Sim) { sink = telemetry.New(s, opts) }
 		t := experiments.Run(*exp, o)
 		if t == nil {
@@ -122,7 +125,7 @@ func main() {
 
 // runReplay feeds a parsed packet trace through a standalone Juggler with
 // telemetry attached (the juggler-replay apparatus, export-oriented).
-func runReplay(path string, seed int64, bk reasm.Kind, opts telemetry.Options) *telemetry.Sink {
+func runReplay(path string, seed int64, bk reasm.Kind, opts telemetry.Options, stampSample int) *telemetry.Sink {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "juggler-trace:", err)
@@ -139,13 +142,18 @@ func runReplay(path string, seed int64, bk reasm.Kind, opts telemetry.Options) *
 		os.Exit(1)
 	}
 	s := sim.New(seed)
+	packet.AttachStampSampler(s, stampSample)
 	sink := telemetry.New(s, opts)
 	iface := sink.Iface("replay")
 	jcfg := core.DefaultConfig()
 	jcfg.Backend = bk
 	j := core.New(s, jcfg, func(seg *packet.Segment) {})
+	// The sampling verdict is taken here, in trace order — replay has no
+	// sender NIC, so schedule time is the wire-TX equivalent.
+	sampler := packet.StampSamplerFromSim(s)
 	for _, tp := range tr.Packets {
 		tp := tp
+		sampler.Apply(&tp.Pkt)
 		s.Schedule(tp.At, func() {
 			sink.CapturePacket(iface, true, &tp.Pkt)
 			j.Receive(&tp.Pkt)

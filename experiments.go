@@ -71,6 +71,10 @@ type RunConfig struct {
 	// (0 keeps each experiment's own provisioning).
 	Inseq time.Duration
 	Ofo   time.Duration
+	// StampSample is the 1-in-N hop-stamp sampling rate: the sender NIC
+	// stamps every Nth wire packet; the rest skip forensic stamping and
+	// per-packet decision records. 0 or 1 stamps every packet (exact).
+	StampSample int
 }
 
 // RunExperiment regenerates one table/figure of the paper's evaluation.
@@ -93,6 +97,7 @@ func RunExperimentCfg(id string, cfg RunConfig) *Report {
 	t := experiments.Run(id, experiments.Options{
 		Seed: cfg.Seed, Quick: cfg.Quick, Workers: cfg.Workers, Backend: bk,
 		Adapt: cfg.Adapt, Inseq: cfg.Inseq, Ofo: cfg.Ofo,
+		StampSample: cfg.StampSample,
 	})
 	if t == nil {
 		return nil

@@ -236,6 +236,19 @@ func (t *tap) Receive(p *packet.Packet) {
 	t.j.Receive(p)
 }
 
+// ReceiveBatch implements gro.Offload: observe every packet at the
+// batch's (shared) instant, arm the control timer once — ArmIfIdle is
+// idempotent while armed, so per-packet arming would be identical — and
+// hand the batch to the wrapped Juggler.
+func (t *tap) ReceiveBatch(batch []*packet.Packet) {
+	now := t.c.sim.Now()
+	for _, p := range batch {
+		t.c.det.Observe(p, now)
+	}
+	t.c.timer.ArmIfIdle(t.c.cfg.Interval)
+	t.j.ReceiveBatch(batch)
+}
+
 // PollComplete implements gro.Offload.
 func (t *tap) PollComplete() { t.j.PollComplete() }
 
@@ -326,7 +339,7 @@ func (c *Controller) tick() {
 		}
 		if !c.trimming {
 			c.trimming = true
-			c.tel.Decide(telemetry.Decision{Layer: telemetry.LayerHost, Op: telemetry.OpRetune,
+			c.tel.Decide(&telemetry.Decision{Layer: telemetry.LayerHost, Op: telemetry.OpRetune,
 				Cause: CauseIdleTrim, N: int64(r.MaxIdleFlows), Note: "inactive-list bound"})
 		}
 	} else {
@@ -435,7 +448,7 @@ func (c *Controller) record(now, was time.Duration, knob string) {
 	if now < was {
 		cause = CauseLower
 	}
-	c.tel.Decide(telemetry.Decision{Layer: telemetry.LayerHost, Op: telemetry.OpRetune,
+	c.tel.Decide(&telemetry.Decision{Layer: telemetry.LayerHost, Op: telemetry.OpRetune,
 		Cause: cause, N: int64(now), Note: knob})
 	c.tel.Event(telemetry.Event{Layer: telemetry.LayerHost, Kind: telemetry.KindRetune,
 		N: int64(now), Note: knob})

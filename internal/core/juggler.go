@@ -167,9 +167,16 @@ type Stats struct {
 // out-of-order queue's backing arrays so steady-state flow churn never
 // allocates.
 type flowEntry struct {
-	key            packet.FiveTuple
-	hash           uint32 // key.Hash(0), cached for probing
-	ooo            reasm.Backend
+	key  packet.FiveTuple
+	hash uint32 // key.Hash(0), cached for probing
+	ooo  reasm.Backend
+	// sl is ooo devirtualized: non-nil exactly when the backend is the
+	// default *reasm.SegList. The per-packet hot path (insert, head
+	// probe, event flush) goes through the oooX helpers, which call the
+	// concrete type so the O(1) accessors inline instead of dispatching
+	// through the interface on every packet. Other backends take the
+	// interface path unchanged.
+	sl *reasm.SegList
 	flushTimestamp sim.Time
 	// holdStart anchors the timeout clocks: the later of the last flush
 	// and the instant the queue went from empty to non-empty. Using the
@@ -188,10 +195,59 @@ type flowEntry struct {
 	// order over an unordered due set.
 	listSeq uint64
 
+	// batched marks the flow as already on the ReceiveBatch touched list,
+	// so a flow hit by many packets of one poll batch is re-filed in the
+	// deadline queue once. releaseFlow's zeroing clears it with the rest.
+	batched bool
+
 	// dl anchors the flow in the Juggler's deadline queue; its stored
 	// deadline always equals flowDeadline (maintained by updateDeadline at
 	// every mutation site).
 	dl sim.DeadlineItem
+}
+
+// The oooX helpers below devirtualize the per-packet queue operations for
+// the default SegList backend: when e.sl is non-nil the concrete methods
+// are called directly, so the O(1) accessors inline into the caller
+// instead of dispatching through the Backend interface on every packet.
+// Other backends fall back to the interface call unchanged. Only the
+// operations on the profiled hot path (insert, head probe, event flush,
+// deadline computation) get a helper — cold paths (drain, expiry, audit)
+// keep calling e.ooo directly.
+
+func (e *flowEntry) oooEmpty() bool {
+	if e.sl != nil {
+		return e.sl.Empty()
+	}
+	return e.ooo.Empty()
+}
+
+func (e *flowEntry) oooHead() *packet.Segment {
+	if e.sl != nil {
+		return e.sl.Head()
+	}
+	return e.ooo.Head()
+}
+
+func (e *flowEntry) oooInsert(p *packet.Packet) (reasm.InsertResult, bool) {
+	if e.sl != nil {
+		return e.sl.Insert(p)
+	}
+	return e.ooo.Insert(p)
+}
+
+func (e *flowEntry) oooNextContiguous() bool {
+	if e.sl != nil {
+		return e.sl.NextContiguous()
+	}
+	return e.ooo.NextContiguous()
+}
+
+func (e *flowEntry) oooPopHead() *packet.Segment {
+	if e.sl != nil {
+		return e.sl.PopHead()
+	}
+	return e.ooo.PopHead()
 }
 
 // flowList is an intrusive FIFO doubly-linked list (the active, inactive
@@ -247,6 +303,12 @@ type Juggler struct {
 	active   flowList
 	inactive flowList
 	loss     flowList
+	// lastEntry memoizes the most recent table hit: traffic clusters by
+	// flow (several packets per poll batch), so consecutive lookups
+	// usually skip the slot-array probe and go straight to the entry.
+	// releaseFlow clears it — a recycled entry may be reborn as a
+	// different flow.
+	lastEntry *flowEntry
 
 	// dq orders every flow holding packets by its next timeout instant, so
 	// expiry visits only due flows. due is the reusable scratch the expiry
@@ -254,6 +316,16 @@ type Juggler struct {
 	dq      *sim.DeadlineQueue[*flowEntry]
 	due     []*flowEntry
 	pushSeq uint64
+
+	// batching marks an in-progress ReceiveBatch: bufferAndCheck then
+	// defers its per-packet deadline-queue re-file (touched collects the
+	// flows, deduplicated by flowEntry.batched) so the batch epilogue
+	// restores the deadline invariant with one pass. The timer arm is NOT
+	// deferred — maybeArmTimer only schedules when the minimum deadline
+	// improves, and keeping it per packet means the batch path schedules
+	// exactly the event sequence the scalar path does.
+	batching bool
+	touched  []*flowEntry
 
 	// freeFlows chains released entries (through their next pointers) for
 	// reuse; segPool recycles the segments the out-of-order queues mint.
@@ -529,6 +601,50 @@ func (j *Juggler) Receive(p *packet.Packet) {
 	}
 }
 
+// ReceiveBatch implements gro.Offload: one NAPI poll's drained batch.
+// Byte-identical to per-packet Receive by construction: every packet runs
+// the same receive path at the same virtual instant, the per-packet timer
+// arm is kept (so the engine schedules exactly the event sequence the
+// scalar path does — identical times AND identical tie-breaking seqs),
+// and the two pieces of epilogue that schedule nothing are amortized:
+// each touched flow is re-filed in the deadline queue once per batch
+// instead of once per packet, and the chaos Probe audit runs once per
+// batch — which is also required for the audit to pass, since mid-batch
+// the deadline queue is deliberately stale.
+func (j *Juggler) ReceiveBatch(batch []*packet.Packet) {
+	if len(batch) == 0 {
+		return
+	}
+	j.batching = true
+	for _, p := range batch {
+		j.receive(p)
+	}
+	j.batching = false
+	for i, e := range j.touched {
+		// A flow evicted mid-batch was zeroed by releaseFlow (clearing
+		// batched) and detached from the deadline queue already; skip it.
+		if e.batched {
+			e.batched = false
+			j.updateDeadline(e)
+		}
+		j.touched[i] = nil
+	}
+	j.touched = j.touched[:0]
+	if j.Probe != nil {
+		j.Probe()
+	}
+}
+
+// deferDeadline is bufferAndCheck's epilogue in batch mode: remember the
+// flow for the end-of-batch deadline-queue re-file. A flow hit by many
+// packets of the batch sifts the heap once, under its final deadline.
+func (j *Juggler) deferDeadline(e *flowEntry) {
+	if !e.batched {
+		e.batched = true
+		j.touched = append(j.touched, e)
+	}
+}
+
 func (j *Juggler) receive(p *packet.Packet) {
 	j.c.Packets++
 	if p.PassThrough() {
@@ -537,12 +653,17 @@ func (j *Juggler) receive(p *packet.Packet) {
 	}
 
 	h := flowHash(p)
-	e := j.table.get(h, p.Flow)
-	if e == nil {
-		// Initial phase (§4.2.1): create the entry, enter build-up.
-		e = j.newFlow(p, h)
-		j.bufferAndCheck(e, p)
-		return
+	e := j.lastEntry
+	if e == nil || e.hash != h || e.key != p.Flow {
+		e = j.table.get(h, p.Flow)
+		if e == nil {
+			// Initial phase (§4.2.1): create the entry, enter build-up.
+			e = j.newFlow(p, h)
+			j.lastEntry = e
+			j.bufferAndCheck(e, p)
+			return
+		}
+		j.lastEntry = e
 	}
 
 	switch e.phase {
@@ -566,13 +687,17 @@ func (j *Juggler) receive(p *packet.Packet) {
 		if packet.SeqLess(p.Seq, e.seqNext) {
 			j.Stats.Retransmissions++
 			j.mRetrans.Inc()
-			j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindRetransmit,
-				Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: "inferred"})
-			j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "retransmission",
-				Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "inferred, flushed unbuffered"})
+			if j.tel != nil && !p.SkipStamps {
+				j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindRetransmit,
+					Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: "inferred"})
+			}
+			if j.auditing() && !p.SkipStamps {
+				j.decide(e, &telemetry.Decision{Op: telemetry.OpPass, Cause: "retransmission",
+					Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "inferred, flushed unbuffered"})
+			}
 			j.emit(j.segPool.FromPacket(p))
 			if e.phase == PhaseLossRecovery && j.fillsHole(e, p) {
-				j.exitLossRecovery(e)
+				j.exitLossRecovery(e, p.SkipStamps)
 			}
 			return
 		}
@@ -581,8 +706,10 @@ func (j *Juggler) receive(p *packet.Packet) {
 			j.inactive.remove(e)
 			j.enlist(&j.active, e)
 			e.phase = PhaseActiveMerge
-			j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: telemetry.CausePhaseNewData,
-				Seq: p.Seq, EndSeq: p.Seq, Note: "post-merge>active-merge"})
+			if j.auditing() && !p.SkipStamps {
+				j.decide(e, &telemetry.Decision{Op: telemetry.OpPhase, Cause: telemetry.CausePhaseNewData,
+					Seq: p.Seq, EndSeq: p.Seq, Note: "post-merge>active-merge"})
+			}
 		}
 		j.bufferAndCheck(e, p)
 	}
@@ -595,21 +722,30 @@ func (j *Juggler) fillsHole(e *flowEntry, p *packet.Packet) bool {
 
 // exitLossRecovery moves a flow back toward active merging once its hole
 // is filled (best effort: only the first hole is tracked, Figure 7).
-func (j *Juggler) exitLossRecovery(e *flowEntry) {
+// skip carries the triggering packet's stamp-sampling verdict: forensic
+// records follow the sampled packets.
+func (j *Juggler) exitLossRecovery(e *flowEntry, skip bool) {
 	j.loss.remove(e)
 	j.Stats.LossRecoveryExited++
-	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
-		Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-exit"})
+	record := j.auditing() && !skip
+	if j.tel != nil && !skip {
+		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
+			Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-exit"})
+	}
 	if e.ooo.Empty() {
 		e.phase = PhasePostMerge
 		j.enlist(&j.inactive, e)
-		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
-			Seq: e.seqNext, EndSeq: e.seqNext, Note: "loss-recovery>post-merge"})
+		if record {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
+				Seq: e.seqNext, EndSeq: e.seqNext, Note: "loss-recovery>post-merge"})
+		}
 	} else {
 		e.phase = PhaseActiveMerge
 		j.enlist(&j.active, e)
-		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
-			Seq: e.seqNext, EndSeq: e.seqNext, Note: "loss-recovery>active-merge"})
+		if record {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpPhase, Cause: "hole-filled",
+				Seq: e.seqNext, EndSeq: e.seqNext, Note: "loss-recovery>active-merge"})
+		}
 	}
 }
 
@@ -627,6 +763,7 @@ func (j *Juggler) newFlow(p *packet.Packet, hash uint32) *flowEntry {
 		e.next = nil
 	} else {
 		e = &flowEntry{ooo: reasm.New(j.cfg.Backend, j.segPool)}
+		e.sl, _ = e.ooo.(*reasm.SegList)
 	}
 	now := j.sim.Now()
 	e.key = p.Flow
@@ -646,10 +783,14 @@ func (j *Juggler) newFlow(p *packet.Packet, hash uint32) *flowEntry {
 // binding intact, so the entry's next incarnation buffers without
 // allocating.
 func (j *Juggler) releaseFlow(e *flowEntry) {
+	if j.lastEntry == e {
+		j.lastEntry = nil
+	}
 	q := e.ooo
 	q.Reset()
 	*e = flowEntry{}
 	e.ooo = q
+	e.sl, _ = q.(*reasm.SegList)
 	e.next = j.freeFlows
 	j.freeFlows = e
 }
@@ -657,16 +798,23 @@ func (j *Juggler) releaseFlow(e *flowEntry) {
 // bufferAndCheck inserts the packet into the flow's out-of-order queue and
 // applies the event-driven flush conditions (Table 2, rows 1-4).
 func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
-	if e.ooo.Empty() {
+	if e.oooEmpty() {
 		e.holdStart = j.sim.Now()
 	}
-	b0, p0 := e.ooo.Bytes(), e.ooo.Pkts()
-	res, fastPath := e.ooo.Insert(p)
-	j.buffered += e.ooo.Bytes() - b0
-	j.bufferedPkts += e.ooo.Pkts() - p0
+	res, fastPath := e.oooInsert(p)
+	// Backend contract: InsMerged/InsNew store exactly the packet
+	// (Bytes/Pkts grow by PayloadLen/1), InsDuplicate/InsRejected store
+	// nothing — so the aggregate counters move without re-reading the
+	// queue totals through the interface on every packet.
+	if res == reasm.InsMerged || res == reasm.InsNew {
+		j.buffered += p.PayloadLen
+		j.bufferedPkts++
+	}
 	if !fastPath {
-		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindBuffer,
-			Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: e.phase.String()})
+		if j.tel != nil && !p.SkipStamps {
+			j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindBuffer,
+				Flow: p.Flow, Seq: p.Seq, N: int64(p.PayloadLen), Note: e.phase.String()})
+		}
 		// Only genuine out-of-order queue surgery costs more than the
 		// in-sequence merge standard GRO already performs.
 		j.c.OOOWork++
@@ -674,8 +822,10 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 	if res == reasm.InsDuplicate {
 		j.Stats.Duplicates++
 		j.mDuplicates.Inc()
-		j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "duplicate",
-			Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "range already buffered"})
+		if j.auditing() && !p.SkipStamps {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpPass, Cause: "duplicate",
+				Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "range already buffered"})
+		}
 		j.emit(j.segPool.FromPacket(p)) // hand duplicates to TCP for D-SACK etc.
 		return
 	}
@@ -685,8 +835,10 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 		// In-order rejects still advance seq_next — the bytes were
 		// delivered in order, and the queued head may now be flushable.
 		j.Stats.ReasmRejected++
-		j.decide(e, telemetry.Decision{Op: telemetry.OpPass, Cause: "reasm-reject",
-			Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "backend refused, flushed unbuffered"})
+		if j.auditing() && !p.SkipStamps {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpPass, Cause: "reasm-reject",
+				Seq: p.Seq, EndSeq: p.EndSeq(), N: int64(p.PayloadLen), Note: "backend refused, flushed unbuffered"})
+		}
 		j.emit(j.segPool.FromPacket(p))
 		if p.Seq == e.seqNext {
 			e.seqNext = p.EndSeq()
@@ -694,9 +846,29 @@ func (j *Juggler) bufferAndCheck(e *flowEntry, p *packet.Packet) {
 			e.holdStart = e.flushTimestamp
 		}
 	}
-	j.eventFlush(e)
-	j.updateDeadline(e)
-	j.maybeArmTimer(e)
+	// eventFlush hands back the head it stopped on, and that one probe
+	// serves the empty check, the deadline-queue re-file and the timer
+	// arm — re-probing through flowDeadline would walk to the head twice
+	// per packet. A deadline of Time 0 with a non-empty queue (zero
+	// timeouts at the simulation origin) files in the queue but, as
+	// ever, does not arm the timer.
+	head := j.eventFlush(e)
+	d := j.deadlineForHead(e, head)
+	if j.batching {
+		j.deferDeadline(e)
+		if d != 0 {
+			j.armTimerAt(d)
+		}
+		return
+	}
+	if head == nil {
+		j.dq.Remove(e)
+		return
+	}
+	j.dq.Update(e, d)
+	if d != 0 {
+		j.armTimerAt(d)
+	}
 }
 
 // Decision causes recorded in the forensics audit ring (constant strings
@@ -717,10 +889,18 @@ const (
 	CauseIdleTrim  = "idle-trim"
 )
 
+// auditing reports whether any forensic-decision consumer is present.
+// Hot-path sites test it (plus the packet's stamp-sampling verdict)
+// before constructing a Decision literal, so the uninstrumented path
+// never assembles the ~100-byte argument it would throw away.
+func (j *Juggler) auditing() bool { return j.tel != nil || j.OnDecision != nil }
+
 // decide records one forensic decision through the telemetry sink and the
 // OnDecision hook, filling in the flow's seq/hole/queue state at this
-// instant. Free (one branch) when neither consumer is present.
-func (j *Juggler) decide(e *flowEntry, d telemetry.Decision) {
+// instant. Free (one branch) when neither consumer is present. It takes
+// the ~100-byte Decision by pointer: call sites build the literal once
+// and no further copy happens until the audit-ring write.
+func (j *Juggler) decide(e *flowEntry, d *telemetry.Decision) {
 	if j.tel == nil && j.OnDecision == nil {
 		return
 	}
@@ -738,7 +918,7 @@ func (j *Juggler) decide(e *flowEntry, d telemetry.Decision) {
 	j.tel.Decide(d)
 	if j.OnDecision != nil {
 		d.At = j.sim.Now()
-		j.OnDecision(d)
+		j.OnDecision(*d)
 	}
 }
 
@@ -747,11 +927,14 @@ func (j *Juggler) decide(e *flowEntry, d telemetry.Decision) {
 // another MSS within 64 KB), or followed by a contiguous-but-unmergeable
 // segment (merge boundary: options/CE change or size limit — Table 2 rows
 // 2-4). The final open segment is left to accumulate until a timeout.
-func (j *Juggler) eventFlush(e *flowEntry) {
+// It returns the queue head left behind (nil when the queue drained), so
+// the per-packet caller can derive the flow's deadline without probing
+// the head a second time.
+func (j *Juggler) eventFlush(e *flowEntry) *packet.Segment {
 	for {
-		head := e.ooo.Head()
+		head := e.oooHead()
 		if head == nil || head.Seq != e.seqNext {
-			return
+			return head
 		}
 		var cause string
 		switch {
@@ -759,10 +942,10 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 			cause = CauseSealed
 		case head.Bytes+units.MSS > units.TSOMaxBytes:
 			cause = CauseFull
-		case e.ooo.NextContiguous():
+		case e.oooNextContiguous():
 			cause = CauseBoundary // successor is contiguous yet unmerged
 		default:
-			return
+			return head
 		}
 		j.flushHead(e, &j.Stats.FlushEvent, j.mFlushEvent, cause)
 	}
@@ -773,8 +956,8 @@ func (j *Juggler) eventFlush(e *flowEntry) {
 // cause names the Table-2 condition for the forensics audit ring.
 // Callers refresh the flow's deadline-queue position afterwards.
 func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter, cause string) {
-	seg := e.ooo.PopHead()
-	segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
+	seg := e.oooPopHead()
+	segSeq, segEnd, segPkts, skip := seg.Seq, seg.EndSeq(), seg.Pkts, seg.SkipStamps
 	j.buffered -= seg.Bytes
 	j.bufferedPkts -= seg.Pkts
 	*reason++
@@ -783,28 +966,37 @@ func (j *Juggler) flushHead(e *flowEntry, reason *int64, m *telemetry.Counter, c
 	e.seqNext = segEnd
 	e.flushTimestamp = j.sim.Now()
 	e.holdStart = e.flushTimestamp
-	j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: cause,
-		Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
-	j.afterFlush(e)
+	if j.auditing() && !skip {
+		j.decide(e, &telemetry.Decision{Op: telemetry.OpFlush, Cause: cause,
+			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+	}
+	j.afterFlush(e, skip)
 }
 
-// afterFlush applies the phase transitions that follow any flush.
-func (j *Juggler) afterFlush(e *flowEntry) {
+// afterFlush applies the phase transitions that follow any flush. skip
+// carries the flushed segment's stamp-sampling verdict: the transitions
+// always happen, but their forensic records follow the sampled packets.
+func (j *Juggler) afterFlush(e *flowEntry, skip bool) {
+	record := j.auditing() && !skip
 	switch e.phase {
 	case PhaseBuildUp:
 		// First flush ends build-up (§4.2.2 -> §4.2.3).
 		e.phase = PhaseActiveMerge
-		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: "first-flush",
-			Seq: e.seqNext, EndSeq: e.seqNext, Note: "build-up>active-merge"})
+		if record {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpPhase, Cause: "first-flush",
+				Seq: e.seqNext, EndSeq: e.seqNext, Note: "build-up>active-merge"})
+		}
 		fallthrough
 	case PhaseActiveMerge:
-		if e.ooo.Empty() {
+		if e.oooEmpty() {
 			// §4.2.4: queue drained in sequence -> post merge.
 			j.active.remove(e)
 			j.enlist(&j.inactive, e)
 			e.phase = PhasePostMerge
-			j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: telemetry.CausePhaseDrained,
-				Seq: e.seqNext, EndSeq: e.seqNext, Note: "active-merge>post-merge"})
+			if record {
+				j.decide(e, &telemetry.Decision{Op: telemetry.OpPhase, Cause: telemetry.CausePhaseDrained,
+					Seq: e.seqNext, EndSeq: e.seqNext, Note: "active-merge>post-merge"})
+			}
 		}
 	case PhaseLossRecovery:
 		// Stays on the loss list until the hole is filled.
@@ -819,8 +1011,10 @@ func (j *Juggler) emitMerged(seg *packet.Segment) {
 		j.c.MergedPkts += int64(seg.Pkts)
 	}
 	j.hFlushPkts.Observe(int64(seg.Pkts))
-	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindFlush,
-		Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Pkts)})
+	if j.tel != nil && !seg.SkipStamps {
+		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindFlush,
+			Flow: seg.Flow, Seq: seg.Seq, N: int64(seg.Pkts)})
+	}
 	j.emit(seg)
 }
 
@@ -849,7 +1043,12 @@ func (j *Juggler) onTimer() {
 // flowDeadline returns the next timeout instant for a flow, or 0 when it
 // holds nothing.
 func (j *Juggler) flowDeadline(e *flowEntry) sim.Time {
-	head := e.ooo.Head()
+	return j.deadlineForHead(e, e.oooHead())
+}
+
+// deadlineForHead is flowDeadline with the queue head already in hand,
+// for callers that just probed it.
+func (j *Juggler) deadlineForHead(e *flowEntry, head *packet.Segment) sim.Time {
 	if head == nil {
 		return 0
 	}
@@ -866,7 +1065,7 @@ func (j *Juggler) flowDeadline(e *flowEntry) sim.Time {
 // out-of-order queues, each at its flowDeadline. A deadline of Time 0 is
 // legal (zero timeouts at the simulation origin: due immediately).
 func (j *Juggler) updateDeadline(e *flowEntry) {
-	if e.ooo.Empty() {
+	if e.oooEmpty() {
 		j.dq.Remove(e)
 		return
 	}
@@ -875,10 +1074,13 @@ func (j *Juggler) updateDeadline(e *flowEntry) {
 
 // maybeArmTimer ensures the timer fires no later than the flow's deadline.
 func (j *Juggler) maybeArmTimer(e *flowEntry) {
-	d := j.flowDeadline(e)
-	if d == 0 {
-		return
+	if d := j.flowDeadline(e); d != 0 {
+		j.armTimerAt(d)
 	}
+}
+
+// armTimerAt ensures the timer fires no later than d (non-zero).
+func (j *Juggler) armTimerAt(d sim.Time) {
 	if now := j.sim.Now(); d < now {
 		d = now // deadline already passed: fire as soon as possible
 	}
@@ -985,9 +1187,11 @@ func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
 	}
 	// Row 5: in-sequence data held longer than inseq_timeout.
 	if head.Seq == e.seqNext && now.Sub(e.holdStart) >= j.cfg.InseqTimeout {
-		j.decide(e, telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseInseq,
-			Seq: head.Seq, EndSeq: head.EndSeq(), N: int64(now.Sub(e.holdStart)),
-			Note: "held ns in N"})
+		if j.auditing() {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseInseq,
+				Seq: head.Seq, EndSeq: head.EndSeq(), N: int64(now.Sub(e.holdStart)),
+				Note: "held ns in N"})
+		}
 		for {
 			head = e.ooo.Head()
 			if head == nil || head.Seq != e.seqNext {
@@ -1011,11 +1215,15 @@ func (j *Juggler) expireFlow(e *flowEntry, now sim.Time) {
 func (j *Juggler) ofoExpire(e *flowEntry) {
 	j.Stats.OfoTimeouts++
 	j.mOfoTimeouts.Inc()
-	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindTimeout,
-		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: "ofo"})
-	j.decide(e, telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseOfo,
-		Seq: e.seqNext, EndSeq: e.seqNext,
-		N: int64(j.sim.Now().Sub(e.holdStart)), Note: "held ns in N, queue drains"})
+	if j.tel != nil {
+		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindTimeout,
+			Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: "ofo"})
+	}
+	if j.auditing() {
+		j.decide(e, &telemetry.Decision{Op: telemetry.OpTimeout, Cause: CauseOfo,
+			Seq: e.seqNext, EndSeq: e.seqNext,
+			N: int64(j.sim.Now().Sub(e.holdStart)), Note: "held ns in N, queue drains"})
+	}
 	firstMissing := e.seqNext
 	j.buffered -= e.ooo.Bytes()
 	j.bufferedPkts -= e.ooo.Pkts()
@@ -1023,11 +1231,13 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 	for _, seg := range drained {
 		j.Stats.FlushOfoTimeout++
 		j.mFlushOfo.Inc()
-		segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
+		segSeq, segEnd, segPkts, skip := seg.Seq, seg.EndSeq(), seg.Pkts, seg.SkipStamps
 		j.emitMerged(seg)
 		e.seqNext = packet.SeqMax(e.seqNext, segEnd)
-		j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseOfo,
-			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+		if j.auditing() && !skip {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseOfo,
+				Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+		}
 	}
 	e.ooo.RecycleDrained(drained)
 	e.flushTimestamp = j.sim.Now()
@@ -1043,14 +1253,18 @@ func (j *Juggler) ofoExpire(e *flowEntry) {
 		j.enlist(&j.loss, e)
 		e.phase = PhaseLossRecovery
 		j.Stats.LossRecoveryEntered++
-		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
-			Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-enter"})
-		note := "active-merge>loss-recovery"
-		if wasBuildUp {
-			note = "build-up>loss-recovery"
+		if j.tel != nil {
+			j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindPhase,
+				Flow: e.key, Seq: e.seqNext, Note: "loss-recovery-enter"})
 		}
-		j.decide(e, telemetry.Decision{Op: telemetry.OpPhase, Cause: CauseOfo,
-			Seq: firstMissing, EndSeq: firstMissing, Note: note})
+		if j.auditing() {
+			note := "active-merge>loss-recovery"
+			if wasBuildUp {
+				note = "build-up>loss-recovery"
+			}
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpPhase, Cause: CauseOfo,
+				Seq: firstMissing, EndSeq: firstMissing, Note: note})
+		}
 	case PhasePostMerge:
 		panic("core: ofo expiry with empty queue")
 	}
@@ -1101,20 +1315,26 @@ func (j *Juggler) evictOne() {
 // forensics ring (table-full pressure vs adaptive idle trimming).
 func (j *Juggler) evict(e *flowEntry, cause string) {
 	j.mEvictions.Inc()
-	j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
-		Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
-	j.decide(e, telemetry.Decision{Op: telemetry.OpEvict, Cause: cause,
-		Seq: e.seqNext, EndSeq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
+	if j.tel != nil {
+		j.tel.Event(telemetry.Event{Layer: telemetry.LayerCore, Kind: telemetry.KindEvict,
+			Flow: e.key, Seq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
+	}
+	if j.auditing() {
+		j.decide(e, &telemetry.Decision{Op: telemetry.OpEvict, Cause: cause,
+			Seq: e.seqNext, EndSeq: e.seqNext, N: int64(e.ooo.Pkts()), Note: e.phase.String()})
+	}
 	j.buffered -= e.ooo.Bytes()
 	j.bufferedPkts -= e.ooo.Pkts()
 	drained := e.ooo.Drain()
 	for _, seg := range drained {
 		j.Stats.FlushEvict++
 		j.mFlushEvict.Inc()
-		segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
+		segSeq, segEnd, segPkts, skip := seg.Seq, seg.EndSeq(), seg.Pkts, seg.SkipStamps
 		j.emitMerged(seg)
-		j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseEvict,
-			Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+		if j.auditing() && !skip {
+			j.decide(e, &telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseEvict,
+				Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+		}
 	}
 	e.ooo.RecycleDrained(drained)
 	e.list.remove(e)
@@ -1137,10 +1357,12 @@ func (j *Juggler) Flush() {
 			j.bufferedPkts -= e.ooo.Pkts()
 			drained := e.ooo.Drain()
 			for _, seg := range drained {
-				segSeq, segEnd, segPkts := seg.Seq, seg.EndSeq(), seg.Pkts
+				segSeq, segEnd, segPkts, skip := seg.Seq, seg.EndSeq(), seg.Pkts, seg.SkipStamps
 				j.emitMerged(seg)
-				j.decide(e, telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseFinal,
-					Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+				if j.auditing() && !skip {
+					j.decide(e, &telemetry.Decision{Op: telemetry.OpFlush, Cause: CauseFinal,
+						Seq: segSeq, EndSeq: segEnd, N: int64(segPkts)})
+				}
 			}
 			e.ooo.RecycleDrained(drained)
 			j.dq.Remove(e)

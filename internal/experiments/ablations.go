@@ -31,7 +31,7 @@ func ablLinkedList(o Options) *Table {
 		jcfg := core.DefaultConfig()
 		jcfg.InseqTimeout = 52 * time.Microsecond
 		return runNetFPGABulk(netfpgaRun{
-			tau: 0, jcfg: jcfg, kind: kinds[i], seed: po.Seed, attach: po.AttachTelemetry,
+			tau: 0, jcfg: jcfg, kind: kinds[i], seed: po.Seed, attach: po.installSim,
 		}, po.scale(40*time.Millisecond), po.scale(120*time.Millisecond))
 	})
 	base := results[0].rxUtil + results[0].appUtil

@@ -17,6 +17,8 @@ import (
 	"strings"
 	"time"
 
+	"juggler/internal/nic"
+	"juggler/internal/packet"
 	"juggler/internal/reasm"
 	"juggler/internal/sim"
 	"juggler/internal/telemetry"
@@ -59,6 +61,21 @@ type Options struct {
 	// starting values (the CLIs' -inseq/-ofo flags). Zero keeps each
 	// experiment's own provisioning rule.
 	Inseq, Ofo time.Duration
+
+	// StampSample is the 1-in-N hop-stamp sampling rate (the CLIs'
+	// -stamp-sample flag): the sender NIC stamps every Nth wire packet and
+	// the rest skip forensic hop stamping, latency attribution and the
+	// per-packet decision records. 0 or 1 stamps everything — the exact
+	// default, preserving byte-identical output for existing experiments.
+	StampSample int
+
+	// ScalarRx forces the pre-batch per-packet NIC->offload handoff on
+	// every host of every sim the experiment creates
+	// (nic.RXConfig.ScalarRx, attached run-wide via the sim slot). The
+	// batch pipeline is required to produce byte-identical output to this
+	// reference; differential tests and the CI smoke flip it to prove
+	// that. The zero value runs the batched default.
+	ScalarRx bool
 }
 
 // DefaultOptions is the full-fidelity configuration.
@@ -73,13 +90,27 @@ func (o Options) scale(d time.Duration) time.Duration {
 }
 
 // newSim creates one experiment simulation seeded with o.Seed and runs the
-// AttachTelemetry hook on it.
+// installSim hook on it.
 func (o Options) newSim() *sim.Sim {
 	s := sim.New(o.Seed)
+	o.installSim(s)
+	return s
+}
+
+// installSim applies the per-sim Options to a freshly created simulation:
+// the hop-stamp sampler and the scalar-RX override (on every sim, traced
+// or not, so such runs are identical at any sweep width) and the
+// AttachTelemetry hook (on the designated traced sim only — point() nils
+// it elsewhere). Experiments that build their sims out-of-line take this
+// as their attach callback.
+func (o Options) installSim(s *sim.Sim) {
+	packet.AttachStampSampler(s, o.StampSample)
+	if o.ScalarRx {
+		nic.AttachRXOverrides(s, nic.RXOverrides{ScalarRx: true})
+	}
 	if o.AttachTelemetry != nil {
 		o.AttachTelemetry(s)
 	}
-	return s
 }
 
 // point derives the Options for parameter point i of an n-point sweep:

@@ -27,8 +27,9 @@ type netfpgaRun struct {
 	// senderCfg tunes the TCP sender.
 	senderCfg tcp.SenderConfig
 	seed      int64
-	// attach is Options.AttachTelemetry, threaded through so the bulk
-	// helper installs the sink before building the pair.
+	// attach is Options.installSim, threaded through so the bulk helper
+	// installs the stamp sampler and telemetry sink before building the
+	// pair.
 	attach func(s *sim.Sim)
 }
 
@@ -120,7 +121,7 @@ func fig12(o Options) *Table {
 		jcfg.InseqTimeout = p.it
 		jcfg.OfoTimeout = p.tau + 300*time.Microsecond // ample: isolate inseq effect
 		res := runNetFPGABulk(netfpgaRun{
-			tau: p.tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: po.Seed, attach: po.AttachTelemetry,
+			tau: p.tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: po.Seed, attach: po.installSim,
 		}, po.scale(40*time.Millisecond), po.scale(120*time.Millisecond))
 		return []string{fDurUs(p.tau), fDurUs(p.it), fF(res.batchingExtent),
 			fPct(res.rxUtil), fPct(res.appUtil), fGbps(float64(res.throughput))}
@@ -161,7 +162,7 @@ func fig13(o Options) *Table {
 		jcfg.InseqTimeout = 52 * time.Microsecond
 		jcfg.OfoTimeout = p.ot
 		res := runNetFPGABulk(netfpgaRun{
-			tau: p.tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: po.Seed, attach: po.AttachTelemetry,
+			tau: p.tau, jcfg: jcfg, kind: testbed.OffloadJuggler, seed: po.Seed, attach: po.installSim,
 			coalesce: coalesceTimeBound(),
 		}, po.scale(40*time.Millisecond), po.scale(120*time.Millisecond))
 		return []string{fDurUs(p.tau), fDurUs(p.ot), fGbps(float64(res.throughput)),
@@ -329,7 +330,7 @@ func lossOfo(o Options) *Table {
 		// paper's CUBIC senders at datacenter RTTs tolerate 0.1%% loss.
 		res := runNetFPGABulk(netfpgaRun{
 			tau: 250 * time.Microsecond, jcfg: jcfg, kind: testbed.OffloadJuggler,
-			dropProb: 0.001, seed: po.Seed, attach: po.AttachTelemetry,
+			dropProb: 0.001, seed: po.Seed, attach: po.installSim,
 			coalesce:  coalesceTimeBound(),
 			senderCfg: tcp.SenderConfig{RTOMin: 5 * time.Millisecond, FixedWindow: true},
 		}, po.scale(100*time.Millisecond), po.scale(400*time.Millisecond))

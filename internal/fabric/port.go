@@ -149,7 +149,7 @@ func (pt *Port) kick() {
 		pt.mTxPkts.Inc()
 		// First-egress hop stamp: only the first port on the path records
 		// it, so the fabric sojourn spans every later switch hop too.
-		if p.Stamps[packet.HopFabricEgress] == 0 {
+		if !p.SkipStamps && p.Stamps[packet.HopFabricEgress] == 0 {
 			packet.Stamp(&p.Stamps, packet.HopFabricEgress, pt.sim.Now())
 		}
 		if pt.prop > 0 {

@@ -1,0 +1,38 @@
+package gro
+
+import (
+	"testing"
+
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// TestZeroAllocVanillaReceiveBatch pins the batch handoff's steady-state
+// cost contract at the GRO layer: one NAPI poll's worth of in-sequence
+// packets handed to ReceiveBatch must merge, flush at PollComplete and
+// recycle through the segment pool without allocating. The batch slab is
+// reused across cycles exactly as the NIC's ring slab is.
+func TestZeroAllocVanillaReceiveBatch(t *testing.T) {
+	s := sim.New(1)
+	pool := packet.SegPoolFromSim(s)
+	g := NewVanilla(func(seg *packet.Segment) { pool.Put(seg) })
+	g.UsePool(pool)
+
+	var pkts [8]packet.Packet
+	slab := make([]*packet.Packet, len(pkts))
+	seq := uint32(0)
+	cycle := func() {
+		for i := range pkts {
+			pkts[i] = packet.Packet{Flow: flow, Seq: seq, PayloadLen: units.MSS, Flags: packet.FlagACK}
+			seq += units.MSS
+			slab[i] = &pkts[i]
+		}
+		g.ReceiveBatch(slab)
+		g.PollComplete()
+	}
+	cycle() // warm up the merge map and the segment free list
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("steady-state batched GRO allocates %.1f per poll cycle, want 0", allocs)
+	}
+}

@@ -40,6 +40,13 @@ type Counters struct {
 type Offload interface {
 	// Receive handles one packet within the current polling interval.
 	Receive(p *packet.Packet)
+	// ReceiveBatch handles one NAPI poll's drained batch. It MUST be
+	// observably identical to calling Receive on each packet in order —
+	// same deliveries, same counters, same telemetry — but is free to
+	// amortize per-packet bookkeeping (deadline re-files, timer arming,
+	// probe audits) across the batch. The callee may read the slice only
+	// for the duration of the call and must not retain it.
+	ReceiveBatch(batch []*packet.Packet)
 	// PollComplete is invoked when the driver finishes a polling interval.
 	PollComplete()
 	// Counters returns cumulative statistics.
@@ -66,6 +73,14 @@ func (n *Null) Receive(p *packet.Packet) {
 	n.c.Packets++
 	n.c.Segments++
 	n.deliver(n.pool.FromPacket(p))
+}
+
+// ReceiveBatch implements Offload. Null has no per-packet bookkeeping to
+// amortize: each packet is its own segment either way.
+func (n *Null) ReceiveBatch(batch []*packet.Packet) {
+	for _, p := range batch {
+		n.Receive(p)
+	}
 }
 
 // PollComplete implements Offload.
@@ -154,6 +169,15 @@ func (g *Vanilla) Receive(p *packet.Packet) {
 	g.start(p)
 }
 
+// ReceiveBatch implements Offload. Vanilla's merge state is keyed per
+// flow and flushed on the same per-packet triggers either way, so the
+// batch form is the plain loop.
+func (g *Vanilla) ReceiveBatch(batch []*packet.Packet) {
+	for _, p := range batch {
+		g.Receive(p)
+	}
+}
+
 // UsePool makes the offload mint segments from pl (nil: heap allocation).
 func (g *Vanilla) UsePool(pl *packet.SegPool) { g.pool = pl }
 
@@ -179,12 +203,14 @@ func (g *Vanilla) flushFlow(ft packet.FiveTuple, note string, m *telemetry.Count
 	}
 	delete(g.merges, ft)
 	m.Inc()
-	g.tel.Event(telemetry.Event{Layer: telemetry.LayerGRO, Kind: telemetry.KindFlush,
-		Flow: ft, Seq: seg.Seq, N: int64(seg.Pkts), Note: note})
+	if g.tel != nil {
+		g.tel.Event(telemetry.Event{Layer: telemetry.LayerGRO, Kind: telemetry.KindFlush,
+			Flow: ft, Seq: seg.Seq, N: int64(seg.Pkts), Note: note})
+	}
 	if g.tel != nil || g.OnDecision != nil {
 		d := telemetry.Decision{Layer: telemetry.LayerGRO, Op: telemetry.OpFlush,
 			Cause: note, Flow: ft, Seq: seg.Seq, EndSeq: seg.EndSeq(), N: int64(seg.Pkts)}
-		g.tel.Decide(d)
+		g.tel.Decide(&d)
 		if g.OnDecision != nil {
 			g.OnDecision(d)
 		}

@@ -82,6 +82,14 @@ func (g *LinkedList) Receive(p *packet.Packet) {
 	}
 }
 
+// ReceiveBatch implements Offload: chaining is already per-flow constant
+// work, so the batch form is the plain loop.
+func (g *LinkedList) ReceiveBatch(batch []*packet.Packet) {
+	for _, p := range batch {
+		g.Receive(p)
+	}
+}
+
 func (g *LinkedList) flushFlow(ft packet.FiveTuple) {
 	seg := g.merges[ft]
 	if seg == nil {

@@ -27,9 +27,10 @@ import (
 // TX is the transmit side: it segments TSO super-segments into wire packets
 // and enqueues them on the host's egress port.
 type TX struct {
-	sim  *sim.Sim
-	port *fabric.Port
-	pool *packet.Pool
+	sim     *sim.Sim
+	port    *fabric.Port
+	pool    *packet.Pool
+	sampler *packet.StampSampler
 
 	nextTSOID uint64
 
@@ -49,7 +50,8 @@ type TX struct {
 // telemetry sink is attached to the simulation, outgoing packets are
 // captured on a "<port>/tx" interface and TSO bursts recorded as events.
 func NewTX(s *sim.Sim, port *fabric.Port) *TX {
-	tx := &TX{sim: s, port: port, pool: packet.PoolFromSim(s), txIface: -1}
+	tx := &TX{sim: s, port: port, pool: packet.PoolFromSim(s),
+		sampler: packet.StampSamplerFromSim(s), txIface: -1}
 	if k := telemetry.FromSim(s); k != nil {
 		tx.tel = k
 		tx.track = k.Track(port.Name)
@@ -98,6 +100,11 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 		} else {
 			p.Flags = midFlags
 		}
+		// The 1-in-N stamp sampling decision is made here, once per wire
+		// packet, after the template (with its tcp-send stamp) was copied
+		// in: an excluded packet travels with zero Stamps and SkipStamps
+		// set, so every later hop skips its stamp write.
+		tx.sampler.Apply(p)
 		tx.TxPackets++
 		tx.mTxPkts.Inc()
 		tx.tel.CapturePacket(tx.txIface, false, p)
@@ -107,6 +114,7 @@ func (tx *TX) SendTSO(tmpl packet.Packet, seq uint32, payloadLen int) {
 
 // SendRaw transmits a single pre-built packet (ACKs, control).
 func (tx *TX) SendRaw(p *packet.Packet) {
+	tx.sampler.Apply(p)
 	p.SentAt = tx.sim.Now()
 	tx.TxPackets++
 	tx.mTxPkts.Inc()
@@ -140,6 +148,13 @@ type RXConfig struct {
 
 	// RSSSalt perturbs the RSS hash.
 	RSSSalt uint32
+
+	// ScalarRx forces the pre-batch per-packet offload handoff: the NAPI
+	// poll calls offload.Receive once per packet instead of handing the
+	// whole drained batch to ReceiveBatch. The batch path is required to
+	// be byte-identical to this one; differential tests and the CI smoke
+	// use the switch as the scalar reference.
+	ScalarRx bool
 }
 
 // DefaultRXConfig mirrors the paper's testbed NIC: 125us coalescing with a
@@ -173,16 +188,25 @@ type RX struct {
 }
 
 // rxQueue is one receive queue: ring, coalescing timer, offload instance.
+//
+// The ring is a reusable slab: Deliver appends, poll consumes by advancing
+// head instead of reslicing, and the slab is rewound to its full capacity
+// when a polling episode drains it — so steady-state RX never reallocates
+// the ring and never copies leftovers, whatever the backlog shape.
 type rxQueue struct {
 	rx      *RX
 	idx     int
 	ring    []*packet.Packet
+	head    int // ring[:head] is consumed; ring[head:] awaits polling
 	offload gro.Offload
 
 	coalesce     *sim.Timer
 	polling      bool
 	paused       bool
 	episodeStart sim.Time
+	// pollFn caches the q.poll method value so re-submitting the poll
+	// from the CPU model does not allocate per poll.
+	pollFn func()
 
 	// Polls counts NAPI poll batches; BatchSizes samples packets per poll.
 	Polls      int64
@@ -206,11 +230,30 @@ const maxPollInterval = 2 * time.Millisecond
 // 2 ms episode limit can take effect even when the core is saturated.
 const napiBudget = 64
 
+// RXOverrides are run-wide receive-path overrides, attached to the
+// simulation (AttachRXOverrides) rather than threaded through every
+// topology builder. NewRX folds them into its RXConfig, so one attach
+// call flips every host of a run.
+type RXOverrides struct {
+	// ScalarRx forces RXConfig.ScalarRx on all hosts: the per-packet
+	// offload handoff that the batch pipeline is proven byte-identical
+	// against.
+	ScalarRx bool
+}
+
+// AttachRXOverrides installs run-wide RX overrides on the sim slot. Call
+// before any topology is built; NewRX reads the slot once at
+// construction.
+func AttachRXOverrides(s *sim.Sim, o RXOverrides) { s.RXOverrides = o }
+
 // NewRX creates the receive engine. makeOffload constructs the per-queue
 // offload (GRO, Juggler, ...); it receives the queue index.
 func NewRX(s *sim.Sim, cfg RXConfig, cpu *cpumodel.Model, makeOffload func(queue int) gro.Offload) *RX {
 	if cfg.Queues <= 0 {
 		panic("nic: need at least one RX queue")
+	}
+	if ov, ok := s.RXOverrides.(RXOverrides); ok && ov.ScalarRx {
+		cfg.ScalarRx = true
 	}
 	if cpu == nil {
 		panic("nic: RX requires a CPU model")
@@ -228,6 +271,7 @@ func NewRX(s *sim.Sim, cfg RXConfig, cpu *cpumodel.Model, makeOffload func(queue
 	}
 	for i := 0; i < cfg.Queues; i++ {
 		q := &rxQueue{rx: rx, idx: i, offload: makeOffload(i)}
+		q.pollFn = q.poll
 		q.coalesce = sim.NewTimer(s, func() { q.wake("timer") })
 		if rx.tel != nil {
 			q.track = rx.tel.Track(fmt.Sprintf("%s/rxq%d", name, i))
@@ -248,7 +292,7 @@ func (rx *RX) Deliver(p *packet.Packet) {
 	// hash rides on the packet so the offload flow table reuses it instead
 	// of rehashing. pick reuses it too when the salt is unperturbed.
 	p.FlowHash = p.Flow.Hash(0)
-	packet.Stamp(&p.Stamps, packet.HopNICRx, rx.sim.Now())
+	packet.StampPkt(p, packet.HopNICRx, rx.sim.Now())
 	q := rx.queues[rx.pick(p)]
 	q.ring = append(q.ring, p)
 	if q.polling || q.paused {
@@ -256,7 +300,7 @@ func (rx *RX) Deliver(p *packet.Packet) {
 		// queue's interrupt is masked: the ring accumulates silently.
 		return
 	}
-	if rx.cfg.CoalesceFrames > 0 && len(q.ring) >= rx.cfg.CoalesceFrames {
+	if rx.cfg.CoalesceFrames > 0 && q.pending() >= rx.cfg.CoalesceFrames {
 		q.wake("frames")
 		return
 	}
@@ -281,7 +325,7 @@ func (rx *RX) ResumeQueue(i int) {
 		return
 	}
 	q.paused = false
-	if len(q.ring) > 0 {
+	if q.pending() > 0 {
 		q.wake("resume")
 	}
 }
@@ -336,12 +380,15 @@ func (q *rxQueue) wake(cause string) {
 		return
 	}
 	q.rx.tel.Event(telemetry.Event{Layer: telemetry.LayerNIC, Kind: telemetry.KindCoalesce,
-		Track: q.track, N: int64(len(q.ring)), Note: cause})
+		Track: q.track, N: int64(q.pending()), Note: cause})
 	q.polling = true
 	q.episodeStart = q.rx.sim.Now()
 	q.coalesce.Stop()
 	q.poll()
 }
+
+// pending counts packets delivered to the ring but not yet polled.
+func (q *rxQueue) pending() int { return len(q.ring) - q.head }
 
 // poll drains whatever is on the ring as one batch: packets go through the
 // offload layer and the batch's CPU cost is charged to the RX core, whose
@@ -351,45 +398,68 @@ func (q *rxQueue) wake(cause string) {
 // bound is hit, exactly like NAPI's napi_complete path.
 func (q *rxQueue) poll() {
 	now := q.rx.sim.Now()
-	if len(q.ring) == 0 || now.Sub(q.episodeStart) >= maxPollInterval {
+	if q.pending() == 0 || now.Sub(q.episodeStart) >= maxPollInterval {
 		// End of the polling interval: the offload layer flushes; leave
 		// polling mode unless the 2 ms bound cut a busy episode short.
 		q.Episodes++
 		q.offload.PollComplete()
-		if len(q.ring) == 0 {
+		if q.pending() == 0 {
 			q.polling = false
+			// Rewind the slab: the consumed prefix is dead, so the next
+			// episode reuses the full capacity from index zero.
+			q.ring = q.ring[:0]
+			q.head = 0
 			return
 		}
 		q.episodeStart = now
 	}
-	batch := q.ring
+	batch := q.ring[q.head:]
 	if len(batch) > napiBudget {
-		q.ring = append([]*packet.Packet(nil), batch[napiBudget:]...)
 		batch = batch[:napiBudget]
-	} else {
-		q.ring = nil
 	}
+	q.head += len(batch)
 	q.Polls++
 	q.BatchSizes.Observe(len(batch))
 	q.hBatch.Observe(int64(len(batch)))
 	q.rx.tel.Event(telemetry.Event{Layer: telemetry.LayerNIC, Kind: telemetry.KindPoll,
 		Track: q.track, N: int64(len(batch))})
 
-	before := q.offload.Counters()
+	// Hop stamps for forensics: the poll drain and the offload handoff
+	// happen at the same virtual instant (Receive runs synchronously in
+	// the softirq, like the kernel's napi_gro_receive), so both hops are
+	// stamped here and the poll->gro-buffer sojourn is zero by
+	// construction — what varies is nic-rx -> napi-poll (coalescing) and
+	// gro-buffer -> deliver (the offload hold).
 	for _, p := range batch {
-		// Hop stamps for forensics: the poll drain and the offload handoff
-		// happen at the same virtual instant (Receive runs synchronously in
-		// the softirq, like the kernel's napi_gro_receive), so both hops
-		// are stamped here and the poll->gro-buffer sojourn is zero by
-		// construction — what varies is nic-rx -> napi-poll (coalescing)
-		// and gro-buffer -> deliver (the offload hold).
-		packet.Stamp(&p.Stamps, packet.HopNAPIPoll, now)
-		packet.Stamp(&p.Stamps, packet.HopGROBuffer, now)
-		q.offload.Receive(p)
+		packet.StampPkt(p, packet.HopNAPIPoll, now)
+		packet.StampPkt(p, packet.HopGROBuffer, now)
+	}
+	before := q.offload.Counters()
+	if q.rx.cfg.ScalarRx {
+		for _, p := range batch {
+			q.offload.Receive(p)
+			q.rx.pool.Put(p)
+		}
+	} else {
+		// Pin the event timestamp for the batch window: everything the
+		// batch triggers fires at this instant, so the sink reads the
+		// clock once instead of once per recorded event.
+		q.rx.tel.BeginBatch()
+		q.offload.ReceiveBatch(batch)
+		q.rx.tel.EndBatch()
 		// The offload layer copies what it keeps into Segments and never
-		// retains the *Packet, so the wire object can be recycled here —
-		// the single Put matching the Get in SendTSO / the ACK generator.
-		q.rx.pool.Put(p)
+		// retains the *Packet (nor the batch slice), so the wire objects
+		// can be recycled here — the single Put matching the Get in
+		// SendTSO / the ACK generator, in the same order the scalar path
+		// put them.
+		for _, p := range batch {
+			q.rx.pool.Put(p)
+		}
+	}
+	// Drop the consumed slots' references so the slab does not pin
+	// recycled packets until its next rewind.
+	for i := range batch {
+		batch[i] = nil
 	}
 	after := q.offload.Counters()
 
@@ -401,6 +471,8 @@ func (q *rxQueue) poll() {
 	if cost <= 0 {
 		cost = time.Nanosecond
 	}
-	// Each RSS queue's IRQ is pinned to its own core.
-	q.rx.cpu.RXCore(q.idx).Submit(cost, q.poll)
+	// Each RSS queue's IRQ is pinned to its own core. pollFn is the
+	// method value cached at construction: minting `q.poll` here would
+	// allocate a closure on every poll of the steady-state hot path.
+	q.rx.cpu.RXCore(q.idx).Submit(cost, q.pollFn)
 }

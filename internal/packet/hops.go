@@ -56,3 +56,13 @@ func Stamp(st *[NumHops]sim.Time, h Hop, now sim.Time) {
 	}
 	st[h] = now
 }
+
+// StampPkt records now at hop h on p, honoring the run's 1-in-N stamp
+// sampling: packets the StampSampler excluded (SkipStamps) are left
+// untouched, so the per-hop cost of an unsampled packet is one flag test.
+func StampPkt(p *Packet, h Hop, now sim.Time) {
+	if p.SkipStamps {
+		return
+	}
+	Stamp(&p.Stamps, h, now)
+}

@@ -185,6 +185,14 @@ type Packet struct {
 	// locally generated ACKs) still attribute correctly. Pool recycling
 	// zeroes the whole struct, which resets these for free.
 	Stamps [NumHops]sim.Time
+
+	// SkipStamps marks a packet the run's StampSampler excluded from hop
+	// stamping (1-in-N sampling, decided once at NIC TX). Downstream
+	// stamp sites honor it via StampPkt, so an unsampled packet carries
+	// all-zero Stamps and drops out of attribution and per-packet
+	// forensics with no per-hop branching beyond this flag. False when no
+	// sampler is attached; pool recycling zeroes it with the struct.
+	SkipStamps bool
 }
 
 // WireLen returns the packet's size on the wire in IP bytes: headers plus

@@ -1,0 +1,77 @@
+package packet
+
+import "juggler/internal/sim"
+
+// StampSampler implements 1-in-N hop-stamp sampling: the NIC TX runs
+// every wire packet through Apply, which lets one in every N packets
+// carry hop timestamps and marks the rest SkipStamps. The decision is a
+// deterministic modular counter — no randomness is consumed, so enabling
+// sampling never perturbs the simulation's event stream — and it is made
+// once per packet at the earliest stamping layer, so every later hop
+// (fabric egress, NIC RX, NAPI poll, GRO buffer) pays only the SkipStamps
+// flag test instead of a stamp write.
+//
+// A nil *StampSampler is the "sample everything" rate: Apply is a no-op
+// and Rate reports 1. AttachStampSampler deliberately leaves the sim slot
+// nil for rates <= 1 so the default path has no sampler in it at all.
+type StampSampler struct {
+	every uint64 // keep stamps on 1 in this many wire packets
+	left  uint64 // packets to skip before the next kept one
+}
+
+// NewStampSampler returns a sampler keeping stamps on 1 in every
+// packets, or nil when every <= 1 (sample everything — today's behavior).
+func NewStampSampler(every int) *StampSampler {
+	if every <= 1 {
+		return nil
+	}
+	return &StampSampler{every: uint64(every)}
+}
+
+// Apply decides whether p carries hop stamps. The first packet of every
+// window is kept, so the rate is exact from the first packet on. Call it
+// after the packet's fields (including any template-copied Stamps) are
+// final; for an excluded packet it clears Stamps and sets SkipStamps.
+// Safe on a nil receiver.
+func (sp *StampSampler) Apply(p *Packet) {
+	if sp == nil {
+		return
+	}
+	// Countdown form of "keep when count%every == 0": the window's first
+	// packet is kept and rearms the skip budget, so the selection pattern
+	// is identical but the per-packet cost is a decrement, not a divide.
+	if sp.left == 0 {
+		sp.left = sp.every - 1
+		return
+	}
+	sp.left--
+	p.SkipStamps = true
+	p.Stamps = [NumHops]sim.Time{}
+}
+
+// Rate reports the configured 1-in-N rate; 1 for a nil sampler.
+func (sp *StampSampler) Rate() int {
+	if sp == nil {
+		return 1
+	}
+	return int(sp.every)
+}
+
+// AttachStampSampler installs a 1-in-every sampler on the run's sim slot.
+// Rates <= 1 leave the slot nil, which keeps the exact-stamping fast path
+// free of even the nil-sampler indirection.
+func AttachStampSampler(s *sim.Sim, every int) {
+	if sp := NewStampSampler(every); sp != nil {
+		s.StampSampler = sp
+	}
+}
+
+// StampSamplerFromSim fetches the sampler attached to s, or nil when the
+// run samples every packet.
+func StampSamplerFromSim(s *sim.Sim) *StampSampler {
+	if s == nil {
+		return nil
+	}
+	sp, _ := s.StampSampler.(*StampSampler)
+	return sp
+}

@@ -61,6 +61,12 @@ type Segment struct {
 	// delivery per segment, pinned to the packet that created it, so per-
 	// layer sojourn sums telescope exactly to end-to-end latency.
 	Stamps [NumHops]sim.Time
+
+	// SkipStamps mirrors the lead packet's stamp-sampling verdict: a
+	// segment opened by an unsampled packet carries zero Stamps and is
+	// skipped by delivery stamping, attribution and the per-flush
+	// forensic records — the segment-level face of 1-in-N sampling.
+	SkipStamps bool
 }
 
 // Range is one contiguous payload run inside a linked-list segment.
@@ -97,7 +103,7 @@ func FromPacket(p *Packet) *Segment {
 		Flags: p.Flags, AckSeq: p.AckSeq, OptSig: p.OptSig, CE: p.CE,
 		SACKStart: p.SACKStart, SACKEnd: p.SACKEnd,
 		FirstSentAt: p.SentAt, LastSentAt: p.SentAt,
-		Stamps: p.Stamps,
+		Stamps: p.Stamps, SkipStamps: p.SkipStamps,
 	}
 }
 

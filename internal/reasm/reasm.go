@@ -101,6 +101,11 @@ type Backend interface {
 	// GRO already does on in-order traffic (a plain tail extension, or
 	// the first segment of an empty queue) — no extra Juggler
 	// bookkeeping cost is charged for it.
+	// Insert's accounting contract: on InsMerged or InsNew the queue's
+	// Bytes/Pkts totals grow by exactly p.PayloadLen/1; on InsDuplicate
+	// or InsRejected they do not move. Callers (the core hot path) track
+	// aggregate buffered totals from the result alone instead of
+	// re-reading Bytes/Pkts around every insert.
 	Insert(p *packet.Packet) (res InsertResult, fastPath bool)
 	// Covered reports whether p's byte range is already fully present.
 	Covered(p *packet.Packet) bool

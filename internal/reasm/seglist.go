@@ -66,9 +66,17 @@ func (q *SegList) NextContiguous() bool {
 }
 
 // findInsertPos returns the index of the first segment whose Seq is not
-// before seq (binary search in sequence space).
+// before seq. The tail check first: in-order traffic (and the common
+// tail-extension of a single queued segment) lands at or past the last
+// segment's start, so most packets never enter the binary search.
 func (q *SegList) findInsertPos(seq uint32) int {
-	lo, hi := 0, len(q.segs)
+	n := len(q.segs)
+	if n == 0 || packet.SeqLess(q.segs[n-1].Seq, seq) {
+		return n
+	}
+	// seq is at or before the last segment's start, so the answer is at
+	// most n-1 — the binary search never needs to consider index n.
+	lo, hi := 0, n-1
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if packet.SeqLess(q.segs[mid].Seq, seq) {
@@ -104,10 +112,20 @@ func (q *SegList) Covered(p *packet.Packet) bool {
 // standard GRO does on in-order traffic, which therefore carries no extra
 // Juggler bookkeeping cost.
 func (q *SegList) Insert(p *packet.Packet) (res InsertResult, fastPath bool) {
-	if q.Covered(p) {
+	i := q.findInsertPos(p.Seq)
+	// Coverage check at the found position — calling Covered would repeat
+	// the binary search. A covering segment starts at or before p.Seq:
+	// segs[i] (equal start) or segs[i-1] (earlier start).
+	if i < len(q.segs) && q.segs[i].Seq == p.Seq &&
+		packet.SeqLEQ(p.EndSeq(), q.segs[i].EndSeq()) {
 		return InsDuplicate, false
 	}
-	i := q.findInsertPos(p.Seq)
+	if i > 0 {
+		prev := q.segs[i-1]
+		if packet.SeqLEQ(prev.Seq, p.Seq) && packet.SeqLEQ(p.EndSeq(), prev.EndSeq()) {
+			return InsDuplicate, false
+		}
+	}
 	q.nbytes += p.PayloadLen
 	q.npkts++
 

@@ -125,6 +125,22 @@ type Sim struct {
 	// packet.SegPoolFromSim: the offload layer mints Segments from it and
 	// the consumer that ends a segment's life returns it.
 	SegmentPool any
+
+	// StampSampler is the per-run hop-stamp sampler slot, managed by
+	// packet.AttachStampSampler / packet.StampSamplerFromSim. Left nil
+	// (the default, and always for a 1-in-1 rate) every wire packet
+	// carries hop timestamps; when set, the NIC TX marks all but one in N
+	// packets SkipStamps so the forensics layers skip them for free.
+	StampSampler any
+
+	// RXOverrides is the per-run NIC receive-path override slot, managed
+	// by nic.AttachRXOverrides and read once in nic.NewRX. Differential
+	// tests attach it to force the scalar per-packet offload handoff on
+	// every host of a run — the reference the batch pipeline must match
+	// byte for byte — without threading a flag through each topology
+	// builder. Left nil, hosts run their configured (batched) receive
+	// path.
+	RXOverrides any
 }
 
 // New creates a simulator whose random source is seeded with seed.

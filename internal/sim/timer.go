@@ -13,6 +13,10 @@ type Timer struct {
 	sim *Sim
 	fn  func()
 	ev  *Event
+	// fireFn caches the t.fire method value: timers are re-armed on hot
+	// paths (NIC coalescing, per-flow timeouts), and minting the bound
+	// method at every Reset would allocate a closure per arm.
+	fireFn func()
 }
 
 // NewTimer creates a timer that invokes fn when it fires. The timer starts
@@ -21,20 +25,22 @@ func NewTimer(s *Sim, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer function")
 	}
-	return &Timer{sim: s, fn: fn}
+	t := &Timer{sim: s, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire after d. Any previously pending firing
 // is cancelled.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.ev = t.sim.Schedule(d, t.fire)
+	t.ev = t.sim.Schedule(d, t.fireFn)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.sim.ScheduleAt(at, t.fire)
+	t.ev = t.sim.ScheduleAt(at, t.fireFn)
 }
 
 // ArmIfIdle arms the timer for delay d only if it is not already pending.

@@ -14,6 +14,9 @@ type DiagnosisMeta struct {
 	Stack     string
 	Seed      int64
 	Intensity float64
+	// StampSample is the hop-stamp sampling rate the run used (1-in-N;
+	// 1 = every packet stamped, the exact default).
+	StampSample int
 }
 
 // SpanReport aggregates one sojourn span (or the end-to-end total) for the
@@ -116,6 +119,11 @@ type Diagnosis struct {
 	Stack              string          `json:"stack"`
 	Seed               int64           `json:"seed"`
 	Intensity          float64         `json:"intensity"`
+	// StampSample is the 1-in-N hop-stamp sampling rate of the run: with
+	// N > 1 the latency-attribution and per-packet decision sections are
+	// built from the sampled subset (counts scale by ~1/N) while flow
+	// phase state, anomalies and timeout records remain exact.
+	StampSample        int64           `json:"stamp_sample"`
 	Verdict            string          `json:"verdict"`
 	Delivered          int64           `json:"delivered_segments"`
 	EndToEnd           SpanReport      `json:"end_to_end"`
@@ -151,12 +159,16 @@ const retuneReportCap = 32
 // Diagnose aggregates the sink's forensic state into a Diagnosis.
 func (k *Sink) Diagnose(meta DiagnosisMeta) *Diagnosis {
 	d := &Diagnosis{
-		Tool:      "juggler-doctor",
-		Scenario:  meta.Scenario,
-		Stack:     meta.Stack,
-		Seed:      meta.Seed,
-		Intensity: meta.Intensity,
-		Verdict:   "clean",
+		Tool:        "juggler-doctor",
+		Scenario:    meta.Scenario,
+		Stack:       meta.Stack,
+		Seed:        meta.Seed,
+		Intensity:   meta.Intensity,
+		StampSample: int64(meta.StampSample),
+		Verdict:     "clean",
+	}
+	if d.StampSample < 1 {
+		d.StampSample = 1
 	}
 	if k == nil {
 		return d
@@ -232,12 +244,10 @@ func (k *Sink) Diagnose(meta DiagnosisMeta) *Diagnosis {
 }
 
 // opReport builds one op tally with causes sorted by descending count,
-// then cause name — deterministic regardless of map order.
-func opReport(op Op, total int64, causes map[string]int64) OpReport {
+// then cause name — deterministic regardless of first-seen order.
+func opReport(op Op, total int64, causes []CauseCount) OpReport {
 	r := OpReport{Op: op.String(), Total: total}
-	for c, n := range causes {
-		r.Causes = append(r.Causes, CauseCount{Cause: c, Count: n})
-	}
+	r.Causes = append(r.Causes, causes...)
 	sort.Slice(r.Causes, func(i, j int) bool {
 		if r.Causes[i].Count != r.Causes[j].Count {
 			return r.Causes[i].Count > r.Causes[j].Count

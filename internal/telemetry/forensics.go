@@ -226,11 +226,21 @@ type Forensics struct {
 	slowest   []SlowDelivery
 
 	// Decision provenance.
-	flows     map[packet.FiveTuple]*FlowForensics
-	order     []*FlowForensics
+	flows map[packet.FiveTuple]*FlowForensics
+	order []*FlowForensics
+	// lastFlow/lastFE memoize the most recent flowFor hit: decisions
+	// cluster by flow (several per packet, a batch per poll), so the
+	// hot path usually skips the map probe. Entries are never removed
+	// from flows, so the memo cannot go stale.
+	lastFlow  packet.FiveTuple
+	lastFE    *FlowForensics
 	opTotal   [NumOps]int64
 	opCounter [NumOps]*Counter
-	causes    [NumOps]map[string]int64
+	// causes tallies per-op decision causes. A short linear-scanned
+	// slice, not a map: causes are constant strings (a handful per op),
+	// so the scan usually resolves on the pointer-equality fast path of
+	// string comparison instead of hashing the key on every decision.
+	causes [NumOps][]CauseCount
 	// TruncatedDecisions counts decisions from flows beyond FlowCap,
 	// which were tallied globally but kept no audit ring.
 	TruncatedDecisions int64
@@ -340,15 +350,22 @@ func (f *Forensics) OpTotal(op Op) int64 {
 
 // CauseCount returns how many decisions of op fired with cause.
 func (f *Forensics) CauseCount(op Op, cause string) int64 {
-	if f == nil || f.causes[op] == nil {
+	if f == nil {
 		return 0
 	}
-	return f.causes[op][cause]
+	for i := range f.causes[op] {
+		if f.causes[op][i].Cause == cause {
+			return f.causes[op][i].Count
+		}
+	}
+	return 0
 }
 
-// Decide records one datapath decision, stamping the current virtual time;
-// safe on nil. This is the sink half of the core/gro decision hook points.
-func (k *Sink) Decide(d Decision) {
+// Decide records one datapath decision, stamping the current virtual time
+// into *d; safe on nil. It takes a pointer for the same reason decide
+// does: Decision is ~100 bytes and the hot path records several per
+// flush, so every by-value hop is a duffcopy the caller pays.
+func (k *Sink) Decide(d *Decision) {
 	if k == nil {
 		return
 	}
@@ -356,7 +373,10 @@ func (k *Sink) Decide(d Decision) {
 	k.Forensics.decide(d)
 }
 
-func (f *Forensics) decide(d Decision) {
+// decide records one decision. It takes a pointer — a Decision is ~100
+// bytes, and passing it by value through decide/watch would duffcopy it
+// twice more per record on top of the one required ring write.
+func (f *Forensics) decide(d *Decision) {
 	if f == nil {
 		return
 	}
@@ -372,12 +392,17 @@ func (f *Forensics) decide(d Decision) {
 	}
 	f.opCounter[op].Inc()
 	if d.Cause != "" {
-		m := f.causes[op]
-		if m == nil {
-			m = make(map[string]int64)
-			f.causes[op] = m
+		tallied := false
+		for i := range f.causes[op] {
+			if f.causes[op][i].Cause == d.Cause {
+				f.causes[op][i].Count++
+				tallied = true
+				break
+			}
 		}
-		m[d.Cause]++
+		if !tallied {
+			f.causes[op] = append(f.causes[op], CauseCount{Cause: d.Cause, Count: 1})
+		}
 	}
 
 	if op == OpRetune {
@@ -385,7 +410,7 @@ func (f *Forensics) decide(d Decision) {
 		if f.global == nil {
 			f.global = make([]Decision, globalRingCap)
 		}
-		f.global[f.globalNext] = d
+		f.global[f.globalNext] = *d
 		f.globalNext++
 		if f.globalNext == len(f.global) {
 			f.globalNext = 0
@@ -398,7 +423,7 @@ func (f *Forensics) decide(d Decision) {
 	if fe == nil {
 		f.TruncatedDecisions++
 	} else {
-		fe.ring[fe.next] = d
+		fe.ring[fe.next] = *d
 		fe.next++
 		if fe.next == len(fe.ring) {
 			fe.next = 0
@@ -411,7 +436,7 @@ func (f *Forensics) decide(d Decision) {
 }
 
 // watch runs the streaming watchdog detectors on one decision.
-func (f *Forensics) watch(d Decision, fe *FlowForensics) {
+func (f *Forensics) watch(d *Decision, fe *FlowForensics) {
 	win := f.opt.Window
 	switch d.Op {
 	case OpEvict:
@@ -476,7 +501,11 @@ func (f *Forensics) anomaly(a Anomaly) {
 
 // flowFor returns (creating if under the cap) the flow's forensic state.
 func (f *Forensics) flowFor(ft packet.FiveTuple) *FlowForensics {
+	if f.lastFE != nil && f.lastFlow == ft {
+		return f.lastFE
+	}
 	if fe, ok := f.flows[ft]; ok {
+		f.lastFlow, f.lastFE = ft, fe
 		return fe
 	}
 	if len(f.order) >= f.opt.FlowCap {
@@ -486,6 +515,7 @@ func (f *Forensics) flowFor(ft packet.FiveTuple) *FlowForensics {
 		ring: make([]Decision, f.opt.RingCap)}
 	f.flows[ft] = fe
 	f.order = append(f.order, fe)
+	f.lastFlow, f.lastFE = ft, fe
 	return fe
 }
 

@@ -23,7 +23,7 @@ func forensicsSink(o ForensicsOptions) (*sim.Sim, *Sink) {
 func TestDecisionRingRotation(t *testing.T) {
 	s, k := forensicsSink(ForensicsOptions{RingCap: 4})
 	for i := 0; i < 10; i++ {
-		k.Decide(Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed",
+		k.Decide(&Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed",
 			Flow: testFlow, Seq: uint32(i * 1460), EndSeq: uint32((i + 1) * 1460)})
 		s.RunFor(time.Microsecond)
 	}
@@ -55,9 +55,9 @@ func TestFlowCapTruncation(t *testing.T) {
 	_, k := forensicsSink(ForensicsOptions{FlowCap: 1})
 	other := testFlow
 	other.SrcPort++
-	k.Decide(Decision{Op: OpFlush, Flow: testFlow})
-	k.Decide(Decision{Op: OpFlush, Flow: other})
-	k.Decide(Decision{Op: OpFlush, Flow: other})
+	k.Decide(&Decision{Op: OpFlush, Flow: testFlow})
+	k.Decide(&Decision{Op: OpFlush, Flow: other})
+	k.Decide(&Decision{Op: OpFlush, Flow: other})
 	f := k.Forensics
 	if f.FlowState(other) != nil {
 		t.Fatal("flow beyond FlowCap should be untracked")
@@ -74,7 +74,7 @@ func TestFlowCapTruncation(t *testing.T) {
 // the threshold and that a new window resets the count.
 func TestWatchdogEvictChurn(t *testing.T) {
 	s, k := forensicsSink(ForensicsOptions{EvictChurn: 3, Window: time.Millisecond})
-	evict := func() { k.Decide(Decision{Op: OpEvict, Cause: "evict", Flow: testFlow}) }
+	evict := func() { k.Decide(&Decision{Op: OpEvict, Cause: "evict", Flow: testFlow}) }
 	evict()
 	evict()
 	if k.Forensics.AnomalyTotal() != 0 {
@@ -103,7 +103,7 @@ func TestWatchdogEvictChurn(t *testing.T) {
 func TestWatchdogPhaseFlap(t *testing.T) {
 	_, k := forensicsSink(ForensicsOptions{PhaseFlaps: 2, Window: time.Millisecond})
 	phase := func(cause string) {
-		k.Decide(Decision{Op: OpPhase, Cause: cause, Flow: testFlow, Note: "a>b"})
+		k.Decide(&Decision{Op: OpPhase, Cause: cause, Flow: testFlow, Note: "a>b"})
 	}
 	for i := 0; i < 8; i++ {
 		phase(CausePhaseDrained)
@@ -126,12 +126,12 @@ func TestWatchdogPhaseFlap(t *testing.T) {
 // per flow, not on every decision above the limit.
 func TestWatchdogOFOInflation(t *testing.T) {
 	_, k := forensicsSink(ForensicsOptions{InflationBytes: 1000})
-	k.Decide(Decision{Op: OpFlush, Flow: testFlow, QBytes: 999})
+	k.Decide(&Decision{Op: OpFlush, Flow: testFlow, QBytes: 999})
 	if k.Forensics.AnomalyTotal() != 0 {
 		t.Fatal("anomaly below limit")
 	}
-	k.Decide(Decision{Op: OpFlush, Flow: testFlow, QBytes: 1500})
-	k.Decide(Decision{Op: OpFlush, Flow: testFlow, QBytes: 2000})
+	k.Decide(&Decision{Op: OpFlush, Flow: testFlow, QBytes: 1500})
+	k.Decide(&Decision{Op: OpFlush, Flow: testFlow, QBytes: 2000})
 	if got := k.Forensics.AnomalyTotal(); got != 1 {
 		t.Fatalf("anomalies=%d, want 1 (once per flow)", got)
 	}
@@ -240,13 +240,13 @@ func TestSlowestLeaderboard(t *testing.T) {
 // marked, flow-scoped context rides along, untracked flows report ok=false.
 func TestExplain(t *testing.T) {
 	s, k := forensicsSink(ForensicsOptions{})
-	k.Decide(Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed", Flow: testFlow,
+	k.Decide(&Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed", Flow: testFlow,
 		Seq: 0, EndSeq: 2920, SeqNext: 2920, N: 2})
 	s.RunFor(time.Microsecond)
-	k.Decide(Decision{Layer: LayerCore, Op: OpPhase, Cause: CausePhaseDrained, Flow: testFlow,
+	k.Decide(&Decision{Layer: LayerCore, Op: OpPhase, Cause: CausePhaseDrained, Flow: testFlow,
 		Note: "active-merge>post-merge"})
 	s.RunFor(time.Microsecond)
-	k.Decide(Decision{Layer: LayerCore, Op: OpFlush, Cause: "ofo_timeout", Flow: testFlow,
+	k.Decide(&Decision{Layer: LayerCore, Op: OpFlush, Cause: "ofo_timeout", Flow: testFlow,
 		Seq: 4380, EndSeq: 5840, Hole: true, HoleSeq: 2920, N: 1})
 
 	var buf bytes.Buffer
@@ -327,7 +327,7 @@ func TestForensicsZeroAlloc(t *testing.T) {
 	d := Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed", Flow: testFlow,
 		Seq: 0, EndSeq: 1460, N: 1}
 
-	if n := testing.AllocsPerRun(200, func() { nilSink.Decide(d) }); n != 0 {
+	if n := testing.AllocsPerRun(200, func() { nilSink.Decide(&d) }); n != 0 {
 		t.Errorf("nil-sink Decide: %v allocs/op, want 0", n)
 	}
 	if n := testing.AllocsPerRun(200, func() { nilSink.ObserveDelivery(seg) }); n != 0 {
@@ -339,9 +339,9 @@ func TestForensicsZeroAlloc(t *testing.T) {
 	}
 
 	_, k := forensicsSink(ForensicsOptions{})
-	k.Decide(d)            // warm: flow ring, counters, cause map
+	k.Decide(&d)            // warm: flow ring, counters, cause map
 	k.ObserveDelivery(seg) // warm: attribution families, leaderboard
-	if n := testing.AllocsPerRun(200, func() { k.Decide(d) }); n != 0 {
+	if n := testing.AllocsPerRun(200, func() { k.Decide(&d) }); n != 0 {
 		t.Errorf("steady-state Decide: %v allocs/op, want 0", n)
 	}
 	if n := testing.AllocsPerRun(200, func() { k.ObserveDelivery(seg) }); n != 0 {

@@ -195,7 +195,7 @@ func TestPromForensicsGolden(t *testing.T) {
 	s := sim.New(1)
 	k := New(s, Options{Forensics: ForensicsOptions{InflationBytes: 4096}})
 	step := func(d Decision) {
-		k.Decide(d)
+		k.Decide(&d)
 		s.RunFor(1000)
 	}
 	step(Decision{Layer: LayerCore, Op: OpFlush, Cause: "sealed", Flow: testFlow,

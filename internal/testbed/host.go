@@ -286,7 +286,9 @@ func (h *Host) onSegment(seg *packet.Segment) {
 // and never retain the object. This is the single delivery point, so it
 // stamps the final hop and feeds the forensics latency attribution.
 func (h *Host) dispatch(seg *packet.Segment) {
-	packet.Stamp(&seg.Stamps, packet.HopDeliver, h.sim.Now())
+	if !seg.SkipStamps {
+		packet.Stamp(&seg.Stamps, packet.HopDeliver, h.sim.Now())
+	}
 	h.tel.ObserveDelivery(seg)
 	h.route(seg)
 	h.segPool.Put(seg)

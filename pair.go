@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"juggler/internal/adapt"
+	"juggler/internal/nic"
 	"juggler/internal/packet"
 	"juggler/internal/sim"
 	"juggler/internal/stats"
@@ -41,6 +42,16 @@ type ReorderPairConfig struct {
 	// instrumented. Exports are read back with WriteTrace / WritePcap /
 	// WriteMetrics.
 	Telemetry bool
+	// StampSample is the 1-in-N hop-stamp sampling rate: the sender NIC
+	// stamps every Nth wire packet and the rest skip forensic hop
+	// stamping, latency attribution and per-packet decision records.
+	// 0 or 1 stamps every packet (the exact default).
+	StampSample int
+	// ScalarRx forces the pre-batch per-packet NIC->offload handoff on
+	// both hosts. The batched receive pipeline (the default) is required
+	// to produce byte-identical runs to this reference; differential
+	// tests flip it to prove that.
+	ScalarRx bool
 }
 
 // ReorderPair is a running two-host simulation.
@@ -64,6 +75,10 @@ func NewReorderPair(cfg ReorderPairConfig) *ReorderPair {
 		cfg.Tuning = DefaultTuning(cfg.Rate)
 	}
 	s := sim.New(cfg.Seed)
+	packet.AttachStampSampler(s, cfg.StampSample)
+	if cfg.ScalarRx {
+		nic.AttachRXOverrides(s, nic.RXOverrides{ScalarRx: true})
+	}
 	if cfg.Telemetry {
 		telemetry.New(s, telemetry.Options{})
 	}
