@@ -12,6 +12,7 @@ package juggler
 //	JUGGLER_BENCH_FULL=1 go test -bench=Fig20 -benchtime=1x
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -200,6 +201,29 @@ func BenchmarkFlowScale(b *testing.B) {
 			b.StopTimer()
 			if err := j.CheckInvariants(); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedRX runs the shardedrx experiment — flow-scale traffic
+// over 8 RSS queues with a mid-run rehash handoff — at 1/2/4/8 execution
+// lanes. The workload and its table are byte-identical at every level
+// (the determinism_test and BENCH_09.json's shard_scaling section
+// re-check this); what varies is wall-clock, so comparing the levels'
+// ns/op is the sharding speedup on this host. Quick mode by default, like
+// the experiment benchmarks; JUGGLER_BENCH_FULL=1 runs the 100k-flow
+// scale the paper-sized record uses.
+func BenchmarkShardedRX(b *testing.B) {
+	quick := os.Getenv("JUGGLER_BENCH_FULL") == ""
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := experiments.Run("shardedrx", experiments.Options{
+					Seed: 1, Quick: quick, Shards: shards})
+				if t == nil {
+					b.Fatal("unknown experiment shardedrx")
+				}
 			}
 		})
 	}

@@ -42,6 +42,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce bit-identical tables)")
 	workers := flag.Int("j", 1, "sweep worker goroutines per experiment (0 = one per core); output is identical at any width")
+	shards := flag.Int("shards", 1, "intra-sim lanes for the sharded receive datapath (shardedrx); output is identical at any count, and -j is re-budgeted so total goroutines stay at the -j request")
 	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	adapt := flag.Bool("adapt", false, "attach the self-tuning controller to every receiver")
 	inseq := flag.Duration("inseq", 0, "override starting inseq_timeout (0 = experiment default)")
@@ -82,6 +83,7 @@ func main() {
 		start := time.Now()
 		rep := juggler.RunExperimentCfg(id, juggler.RunConfig{
 			Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers),
+			Shards: *shards,
 			Backend: *backend, Adapt: *adapt, Inseq: *inseq, Ofo: *ofo,
 			StampSample: *stampSample,
 		})

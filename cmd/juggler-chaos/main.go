@@ -52,6 +52,7 @@ func run() error {
 	quick := flag.Bool("quick", false, "shrink transfer sizes (~4x faster)")
 	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
 	workers := flag.Int("j", 1, "scenario worker goroutines (0 = one per core); output is identical at any width")
+	shards := flag.Int("shards", 1, "intra-sim lanes for the sharded receive datapath; output is identical at any count (chaos scenarios are closed-loop and stay serial), -j is re-budgeted to keep total goroutines at the -j request")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	flag.Parse()
 
@@ -82,14 +83,14 @@ func run() error {
 	// Each scenario is an independent simulation, so they fan out across
 	// workers; rendering into per-scenario buffers and printing by index
 	// keeps the output byte-identical to the serial run.
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Backend: bk,
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Backend: bk, Shards: *shards,
 		Adapt: *adapt, Inseq: *inseq, Ofo: *ofo, StampSample: *stampSample}
 	type result struct {
 		out bytes.Buffer
 		bad bool
 		err error
 	}
-	results := sweep.Map(sweep.Workers(*workers), len(names), func(i int) *result {
+	results := sweep.Map(sweep.EffectiveWorkers(*workers, *shards), len(names), func(i int) *result {
 		r := &result{}
 		rep, err := experiments.RunChaosScenario(strings.TrimSpace(names[i]), kind, opts, *intensity)
 		if err != nil {

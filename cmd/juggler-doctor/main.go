@@ -70,6 +70,7 @@ func main() {
 	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact); the rate is recorded in the JSON diagnosis")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical reports)")
 	workers := flag.Int("j", 1, "scenario worker goroutines for -scenario all (0 = one per core); reports are identical at any width")
+	shards := flag.Int("shards", 1, "intra-sim lanes for the sharded receive datapath; diagnoses are identical at any count (chaos scenarios are closed-loop and stay serial), -j is re-budgeted to keep total goroutines at the -j request")
 	jsonOut := flag.String("json", "", "write the JSON diagnosis here ('-' = stdout, suppressing the human report)")
 	check := flag.Bool("check", false, "validate the JSON diagnosis against the embedded schema; exit 1 on mismatch")
 	explainQ := flag.String("explain", "", `audit-ring provenance query, e.g. "flow=0 seq=292000"`)
@@ -109,7 +110,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity, *workers, bk, *adaptFlag, *stampSample)
+		diags, sinks = diagnoseScenarios(names, kind, *seed, *quick, *intensity,
+			sweep.EffectiveWorkers(*workers, *shards), bk, *adaptFlag, *stampSample)
 	}
 
 	human := os.Stdout

@@ -85,6 +85,7 @@ func run() error {
 	traceN := flag.Int("trace", 0, "dump the last N Juggler events after each point (0 = off)")
 	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
 	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); output is identical at any width")
+	shards := flag.Int("shards", 1, "intra-sim lanes for the sharded receive datapath; pair sweeps are closed-loop (TCP feedback) so they stay serial and output is identical at any count, -j is re-budgeted to keep total goroutines at the -j request")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if err := pf.Start(); err != nil {
@@ -136,7 +137,7 @@ func run() error {
 		out  bytes.Buffer
 		dead bool
 	}
-	results := sweep.Map(sweep.Workers(*workers), len(taus), func(i int) *result {
+	results := sweep.Map(sweep.EffectiveWorkers(*workers, *shards), len(taus), func(i int) *result {
 		r := &result{}
 		r.dead = !runPoint(&r.out, cfg, taus[i])
 		return r

@@ -47,6 +47,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps and durations (~10x faster)")
 	seed := flag.Int64("seed", 1, "simulation seed (identical seeds reproduce byte-identical exports)")
 	workers := flag.Int("j", 1, "sweep worker goroutines (0 = one per core); table and exports are identical at any width")
+	shards := flag.Int("shards", 1, "intra-sim lanes for the sharded receive datapath; table and exports are identical at any count, -j is re-budgeted to keep total goroutines at the -j request")
 	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
 	traceOut := flag.String("trace", "trace.json", "write Perfetto/Chrome trace-event JSON here ('' disables)")
 	pcapOut := flag.String("pcap", "", "write a pcapng packet capture here")
@@ -78,7 +79,8 @@ func main() {
 	if *replayPath != "" {
 		sink = runReplay(*replayPath, *seed, bk, opts, *stampSample)
 	} else {
-		o := experiments.Options{Seed: *seed, Quick: *quick, Workers: sweep.Workers(*workers), Backend: bk,
+		o := experiments.Options{Seed: *seed, Quick: *quick,
+			Workers: sweep.EffectiveWorkers(*workers, *shards), Shards: *shards, Backend: bk,
 			StampSample: *stampSample, ScalarRx: *scalarRx}
 		o.AttachTelemetry = func(s *sim.Sim) { sink = telemetry.New(s, opts) }
 		t := experiments.Run(*exp, o)

@@ -7,6 +7,7 @@ import (
 
 	"juggler/internal/experiments"
 	"juggler/internal/reasm"
+	"juggler/internal/sweep"
 )
 
 // Report is one experiment's regenerated table: the same rows/series the
@@ -59,6 +60,15 @@ type RunConfig struct {
 	// experiment run on this many goroutines (0 or 1 = serial). The report
 	// is byte-identical to the serial run at any width.
 	Workers int
+	// Shards is the intra-sim lane count: the sharded receive datapath
+	// (the shardedrx experiment) spreads its logical RX queues over this
+	// many real goroutines under a conservative virtual-time barrier
+	// (0 or 1 = serial, the byte-exact reference). Reports are
+	// byte-identical at any lane count. When Shards > 1 the sweep width
+	// is re-budgeted so total goroutines stay at the Workers request
+	// (sweep.EffectiveWorkers) — `-j 8 -shards 4` runs 2 sweep workers
+	// of 4 lanes each, not 32 goroutines.
+	Shards int
 	// Backend names the reassembly backend Juggler instances use:
 	// "seglist" (default, also ""), "batchsort", "bitmap", or "ring".
 	// Unknown names panic at configuration time.
@@ -94,8 +104,17 @@ func RunExperimentCfg(id string, cfg RunConfig) *Report {
 	if err != nil {
 		panic("juggler: " + err.Error())
 	}
+	w := cfg.Workers
+	if cfg.Shards > 1 && w > 1 {
+		// Shared goroutine budget: the Workers request is the total, so
+		// the sweep width shrinks to leave room for each point's lanes.
+		// (0/1 stays serial: its meaning is "no sweep fan-out", not a
+		// budget to divide.)
+		w = sweep.EffectiveWorkers(w, cfg.Shards)
+	}
 	t := experiments.Run(id, experiments.Options{
-		Seed: cfg.Seed, Quick: cfg.Quick, Workers: cfg.Workers, Backend: bk,
+		Seed: cfg.Seed, Quick: cfg.Quick, Workers: w,
+		Shards: cfg.Shards, Backend: bk,
 		Adapt: cfg.Adapt, Inseq: cfg.Inseq, Ofo: cfg.Ofo,
 		StampSample: cfg.StampSample,
 	})

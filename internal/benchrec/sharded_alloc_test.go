@@ -1,0 +1,21 @@
+package benchrec
+
+import "testing"
+
+// TestShardedRXSteadyAllocs is the in-tree twin of the sharded_rx entry
+// in the BENCH_NN.json steady-state gate: one warm stage->post->epoch
+// round of the sharded receive datapath (4 queues on 2 real lane
+// goroutines, 32 flows x the flow-scale 4-packet pattern) must not
+// allocate. AllocsPerRun counts mallocs process-wide, so a regression on
+// either side of the barrier — coordinator staging slabs, mailbox
+// posting, lane-side arrival scheduling, the offload's receive work —
+// fails here before it reaches the benchmark record.
+func TestShardedRXSteadyAllocs(t *testing.T) {
+	cycle := shardedRXCycle()
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if a := testing.AllocsPerRun(20, cycle); a != 0 {
+		t.Fatalf("sharded datapath steady state allocates %.1f per cycle, want 0", a)
+	}
+}

@@ -161,6 +161,26 @@ type Stats struct {
 	ReasmRejected int64
 }
 
+// Add accumulates o into s — the deterministic merge for per-RX-queue
+// Juggler instances summed into one host view (queue order, any shard
+// count: addition commutes).
+func (s *Stats) Add(o Stats) {
+	s.FlushEvent += o.FlushEvent
+	s.FlushInseqTimeout += o.FlushInseqTimeout
+	s.FlushOfoTimeout += o.FlushOfoTimeout
+	s.FlushEvict += o.FlushEvict
+	s.Retransmissions += o.Retransmissions
+	s.Duplicates += o.Duplicates
+	s.OfoTimeouts += o.OfoTimeouts
+	s.EvictionsInactive += o.EvictionsInactive
+	s.EvictionsActive += o.EvictionsActive
+	s.EvictionsLoss += o.EvictionsLoss
+	s.LossRecoveryEntered += o.LossRecoveryEntered
+	s.LossRecoveryExited += o.LossRecoveryExited
+	s.BuildUpBackward += o.BuildUpBackward
+	s.ReasmRejected += o.ReasmRejected
+}
+
 // flowEntry is the per-flow state of §4.1 plus intrusive list linkage, the
 // open-addressing table's cached key hash, and the deadline-queue anchor.
 // Entries recycle through the Juggler's free list; release keeps the

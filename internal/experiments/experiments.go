@@ -45,6 +45,18 @@ type Options struct {
 	// by point index, so tables are byte-identical at any width.
 	Workers int
 
+	// Shards is the intra-sim lane count (the CLIs' -shards flag): the
+	// sharded receive datapath (shardedrx; testbed.ShardedHost) spreads
+	// its logical RX queues over this many real goroutines under the
+	// conservative epoch barrier in internal/sim. 0 or 1 runs every
+	// queue inline — the byte-exact serial reference. Shards is never
+	// output-affecting: closed-loop full-stack experiments (TCP feedback
+	// through a shared egress has zero cross-lane lookahead) ignore it
+	// and stay on the serial engine, and the sharded datapath is
+	// byte-identical at any lane count by construction. The goroutine
+	// budget composes with Workers via sweep.EffectiveWorkers.
+	Shards int
+
 	// Backend selects the reassembly backend every Juggler instance uses
 	// (the CLIs' -backend flag). The zero value is the default seglist
 	// backend, preserving byte-identical output for existing experiments.

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"juggler/internal/adapt"
+	"juggler/internal/core"
+	"juggler/internal/nic"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/testbed"
+	"juggler/internal/units"
+)
+
+// shardedRX drives the flow-scale workload through the sharded receive
+// datapath (testbed.ShardedHost on nic.ShardedRX): eight logical RX
+// queues, RSS-partitioned flows, per-queue Jugglers with lane-local
+// pools, and a mid-run RSS rehash that moves every flow to a new queue —
+// the cross-shard handoff case, where in-flight holes strand on the old
+// queue and drain through its own timeouts while the flow's future
+// packets build up fresh state on the new one.
+//
+// The table is keyed by logical queue, never by execution lane: the
+// queue count is fixed at 8 whatever -shards says, so the rows — and the
+// conservation and leak figures in the notes — are byte-identical at any
+// -shards and any -j. That identity is the experiment's whole point; the
+// wall-clock side of sharding lives in BENCH_09.json's shard_scaling
+// section and BenchmarkShardedRX.
+
+// shardedRXParams sizes the workload.
+type shardedRXParams struct {
+	flows, rounds int
+	shards        int
+}
+
+// shardedRXResult carries one run's merged deterministic outcome.
+type shardedRXResult struct {
+	sent, delivered int64
+	handoffs        int
+	perQueue        []shardedRXQueueRow
+	segLive         int64
+	invariantErr    error
+}
+
+type shardedRXQueueRow struct {
+	pkts  int64
+	segs  int64
+	stats core.Stats
+	ooo   int64
+	bytes int64
+}
+
+// runShardedRX executes the workload once. The coordinator stages every
+// arrival and draws every random fate serially (the identical sequence
+// at any lane count); only the per-queue receive work runs on the lanes.
+func runShardedRX(o Options, p shardedRXParams) shardedRXResult {
+	const (
+		interval = 20 * time.Microsecond // one round per epoch
+		queues   = 8
+	)
+
+	// The coordinator sim exists for the deterministic RNG (and the
+	// telemetry attach hook, so traced runs stay valid); it executes no
+	// events — virtual time lives on the lanes.
+	s := o.newSim()
+	rng := s.Rand()
+
+	cfg := testbed.ShardedHostConfig{
+		RX: nic.ShardedRXConfig{
+			Queues:    queues,
+			Shards:    p.shards,
+			PollEvery: 10 * time.Microsecond,
+		},
+		Offload: testbed.OffloadJuggler,
+		Juggler: core.Config{
+			InseqTimeout: 15 * time.Microsecond,
+			OfoTimeout:   50 * time.Microsecond,
+			// Per-queue tables: twice the fair share absorbs RSS skew
+			// without mass eviction (evictions that do happen are part
+			// of the deterministic output).
+			MaxFlows: 2*p.flows/queues + 64,
+			Backend:  o.Backend,
+		},
+	}
+	if o.Inseq > 0 {
+		cfg.Juggler.InseqTimeout = o.Inseq
+	}
+	if o.Ofo > 0 {
+		cfg.Juggler.OfoTimeout = o.Ofo
+	}
+	if o.Adapt {
+		cfg.Adapt = &adapt.Config{}
+	}
+	h := testbed.NewShardedHost(o.Seed, cfg)
+
+	var res shardedRXResult
+	flowOf := func(f int) packet.FiveTuple {
+		return packet.FiveTuple{
+			SrcIP: uint32(f/65000) + 1, DstIP: 9,
+			SrcPort: uint16(f % 65000), DstPort: 5001, Proto: packet.ProtoTCP,
+		}
+	}
+	send := func(f int, seq uint32, at sim.Time, last bool) {
+		ft := flowOf(f)
+		pkt := packet.Packet{
+			Flow: ft,
+			Seq:  1 + seq*units.MSS, PayloadLen: units.MSS,
+			Flags: packet.FlagACK,
+		}
+		if last {
+			pkt.Flags |= packet.FlagPSH
+		}
+		res.sent += int64(pkt.PayloadLen)
+		h.RX.Inject(at, &pkt)
+	}
+
+	// The same per-flow fate schedule as flowscale: ~2% dropped
+	// (permanent holes -> ofo expiry), ~25% deferred two rounds (a
+	// filled 2-interval hole), the rest sent in order.
+	lateDue := make([]int, p.flows)
+	lateSeq := make([]uint32, p.flows)
+	const rehashSalt = 0x9e3779b9
+	for r := 0; r < p.rounds; r++ {
+		if r == p.rounds/2 {
+			// Mid-run indirection-table rewrite: count the flows whose
+			// queue assignment changes (the handoff population), then
+			// apply it — at an epoch boundary by construction.
+			for f := 0; f < p.flows; f++ {
+				pkt := packet.Packet{Flow: flowOf(f)}
+				pkt.FlowHash = pkt.Flow.Hash(0)
+				before := h.RX.QueueFor(&pkt)
+				h.RX.Rehash(rehashSalt)
+				after := h.RX.QueueFor(&pkt)
+				h.RX.Rehash(0)
+				if before != after {
+					res.handoffs++
+				}
+			}
+			h.RX.Rehash(rehashSalt)
+		}
+		at := sim.Time(0).Add(time.Duration(r) * interval)
+		for f := 0; f < p.flows; f++ {
+			if lateDue[f] == r+1 { // encoded as round+1 so 0 means none
+				lateDue[f] = 0
+				send(f, lateSeq[f], at, false)
+			}
+			d := rng.Intn(100)
+			switch {
+			case d < 2 && r < p.rounds-2:
+				// Dropped: the hole only clears via ofo expiry.
+			case d < 27 && r < p.rounds-2:
+				lateDue[f] = r + 2 + 1
+				lateSeq[f] = uint32(r)
+			default:
+				send(f, uint32(r), at, r == p.rounds-1)
+			}
+		}
+		h.RX.RunEpoch(at.Add(interval))
+	}
+
+	// Drain: a millisecond of epochs with no traffic lets every inseq
+	// and ofo timeout expire, then Finish flushes the remainder.
+	end := sim.Time(0).Add(time.Duration(p.rounds)*interval + time.Millisecond)
+	h.RX.RunEpochsUntil(end, interval)
+	res.invariantErr = h.CheckInvariants()
+	h.Finish()
+
+	for i := 0; i < h.RX.Queues(); i++ {
+		q := h.RX.Queue(i)
+		c := q.Offload().Counters()
+		st := h.QueueStats(i)
+		res.perQueue = append(res.perQueue, shardedRXQueueRow{
+			pkts: c.Packets, segs: c.Segments, ooo: c.OOOWork,
+			stats: h.Jugglers[i].Stats, bytes: st.DeliveredBytes,
+		})
+		res.delivered += st.DeliveredBytes
+	}
+	res.segLive = h.RX.SegLive()
+	return res
+}
+
+// Shards resolves the experiment's lane count from Options.
+func shardedRXShards(o Options) int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return 1
+}
+
+func shardedRX(o Options) *Table {
+	t := &Table{
+		ID:    "shardedrx",
+		Title: "sharded receive datapath: flow-scale workload across 8 RSS queues with a mid-run rehash",
+		Columns: []string{"queue", "pkts", "segs", "flush_event", "flush_inseq", "flush_ofo",
+			"ofo_timeouts", "ooo_work_per_pkt", "delivered_MB"},
+	}
+	p := shardedRXParams{flows: 100000, rounds: 16, shards: shardedRXShards(o)}
+	if o.Quick {
+		p.flows, p.rounds = 5000, 8
+	}
+	res := runShardedRX(o, p)
+	if res.delivered != res.sent {
+		panic(fmt.Sprintf("shardedrx: delivered %d of %d bytes", res.delivered, res.sent))
+	}
+	if res.invariantErr != nil {
+		panic("shardedrx: " + res.invariantErr.Error())
+	}
+	if res.segLive != 0 {
+		panic(fmt.Sprintf("shardedrx: %d segments leaked", res.segLive))
+	}
+
+	var tot shardedRXQueueRow
+	for qi, row := range res.perQueue {
+		t.Add(fI(int64(qi)), fI(row.pkts), fI(row.segs), fI(row.stats.FlushEvent),
+			fI(row.stats.FlushInseqTimeout), fI(row.stats.FlushOfoTimeout),
+			fI(row.stats.OfoTimeouts), fF(float64(row.ooo)/float64(row.pkts)),
+			fF(float64(row.bytes)/(1<<20)))
+		tot.pkts += row.pkts
+		tot.segs += row.segs
+		tot.ooo += row.ooo
+		tot.bytes += row.bytes
+		tot.stats.Add(row.stats)
+	}
+	t.Add("TOTAL", fI(tot.pkts), fI(tot.segs), fI(tot.stats.FlushEvent),
+		fI(tot.stats.FlushInseqTimeout), fI(tot.stats.FlushOfoTimeout),
+		fI(tot.stats.OfoTimeouts), fF(float64(tot.ooo)/float64(tot.pkts)),
+		fF(float64(tot.bytes)/(1<<20)))
+	t.Note("mid-run RSS rehash moved %d of %d flows to a new queue — the worst-case handoff (FNV's low bits are linear in the salt, so a salt change remaps every flow, same as the serial RX): stranded holes drained on the old queue via its own timeouts, byte conservation held (%d bytes), 0 segments leaked across all lane pools",
+		res.handoffs, p.flows, res.sent)
+	t.Note("rows are keyed by logical queue (fixed at 8) and merged in queue order, so this table is byte-identical at any -shards and any -j; wall-clock scaling is recorded in BENCH_09.json shard_scaling")
+	return t
+}
+
+func init() {
+	register("shardedrx", "flow-scale workload on the sharded (multi-goroutine) receive datapath with RSS rehash handoff", shardedRX)
+}

@@ -35,6 +35,17 @@ type Counters struct {
 	MergedPkts int64
 }
 
+// Add accumulates o into c — the deterministic merge used when per-RX-
+// queue offload instances (serial or shard-lane-hosted) are summed into
+// one host view. Addition commutes, so the merged counters are identical
+// at any shard count.
+func (c *Counters) Add(o Counters) {
+	c.Packets += o.Packets
+	c.Segments += o.Segments
+	c.OOOWork += o.OOOWork
+	c.MergedPkts += o.MergedPkts
+}
+
 // Offload is the receive-offload layer interface: the NIC driver feeds it
 // packets during a NAPI poll and signals poll completion.
 type Offload interface {

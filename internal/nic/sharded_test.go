@@ -1,0 +1,174 @@
+package nic
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"juggler/internal/gro"
+	"juggler/internal/packet"
+	"juggler/internal/sim"
+	"juggler/internal/units"
+)
+
+// shardedRun drives a fixed arrival pattern — 64 flows, 6 rounds of an
+// in-order pair plus a displaced PSH-sealed pair, with an RSS rehash
+// before round 3 — through a ShardedRX on `shards` lanes and returns
+// the per-queue observable outcome: delivered segment and byte counts,
+// offload counters, and per-queue packet totals.
+type shardedOutcome struct {
+	RxPackets []int64
+	Segs      []int64
+	Bytes     []int64
+	Counters  []gro.Counters
+}
+
+func shardedRun(t *testing.T, shards int) shardedOutcome {
+	t.Helper()
+	const queues = 4
+	segs := make([]int64, queues)
+	bytes := make([]int64, queues)
+	var made int
+	srx := NewShardedRX(1, ShardedRXConfig{Queues: queues, Shards: shards},
+		func(q *ShardQueue) gro.Offload {
+			qi := made
+			made++
+			if qi != q.ID() {
+				t.Fatalf("offloads built out of queue order: %d vs %d", qi, q.ID())
+			}
+			pool := packet.SegPoolFromSim(q.Shard().Sim())
+			g := gro.NewVanilla(func(seg *packet.Segment) {
+				segs[qi]++
+				bytes[qi] += int64(seg.Bytes)
+				pool.Put(seg)
+			})
+			g.UsePool(pool)
+			return g
+		})
+	defer srx.Stop()
+
+	const flows = 64
+	const interval = 20 * time.Microsecond
+	seqs := make([]uint32, flows)
+	send := func(at sim.Time, f int, seq uint32, flags packet.Flags) {
+		srx.Inject(at, &packet.Packet{
+			Flow: packet.FiveTuple{SrcIP: uint32(f) + 1, DstIP: 9,
+				SrcPort: uint16(f), DstPort: 5001, Proto: packet.ProtoTCP},
+			Seq: 1 + seq*units.MSS, PayloadLen: units.MSS,
+			Flags: packet.FlagACK | flags,
+		})
+	}
+	for r := 0; r < 6; r++ {
+		if r == 3 {
+			// Mid-run indirection-table rewrite: future packets route
+			// under the new salt, state on the old queues drains there.
+			srx.Rehash(0x9e3779b9)
+		}
+		at := sim.Time(0).Add(time.Duration(r) * interval)
+		for f := 0; f < flows; f++ {
+			s0 := seqs[f]
+			send(at, f, s0, 0)
+			send(at, f, s0+1, 0)
+			send(at, f, s0+3, packet.FlagPSH)
+			send(at, f, s0+2, 0)
+			seqs[f] = s0 + 4
+		}
+		srx.RunEpoch(at.Add(interval))
+	}
+	srx.RunEpochsUntil(sim.Time(0).Add(6*interval+time.Millisecond), interval)
+
+	out := shardedOutcome{Segs: segs, Bytes: bytes}
+	for i := 0; i < srx.Queues(); i++ {
+		out.RxPackets = append(out.RxPackets, srx.Queue(i).RxPackets)
+		out.Counters = append(out.Counters, srx.Queue(i).Offload().Counters())
+	}
+	if live := srx.SegLive(); live != 0 {
+		t.Fatalf("shards=%d: %d segments leaked", shards, live)
+	}
+	return out
+}
+
+// TestShardedRXShardCountIndependence is the datapath's core contract at
+// package level: the lane count decides only where a queue executes, so
+// every per-queue observable — packet totals, delivered segments and
+// bytes, offload counters — is identical at 1, 2 and 4 lanes (4 lanes =
+// one queue per lane; the config also caps lanes at the queue count).
+func TestShardedRXShardCountIndependence(t *testing.T) {
+	ref := shardedRun(t, 1)
+	var refSegs int64
+	for _, s := range ref.Segs {
+		refSegs += s
+	}
+	if refSegs == 0 {
+		t.Fatal("serial reference delivered nothing")
+	}
+	for _, shards := range []int{2, 4, 8 /* capped to 4 */} {
+		got := shardedRun(t, shards)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("shards=%d: outcome differs from serial:\nserial:  %+v\nsharded: %+v",
+				shards, ref, got)
+		}
+	}
+}
+
+// TestShardedRXRehashMovesFlows checks the handoff mechanics directly:
+// after a salted rehash, QueueFor reroutes flows (with FNV's low bits
+// linear in the salt, a salt not ≡ 0 mod the queue count remaps every
+// flow), and injection panics are reserved for time regressions, not
+// reroutes — a rehashed flow's packets inject cleanly onto its new queue.
+func TestShardedRXRehashMovesFlows(t *testing.T) {
+	srx := NewShardedRX(1, ShardedRXConfig{Queues: 4, Shards: 2},
+		func(q *ShardQueue) gro.Offload {
+			pool := packet.SegPoolFromSim(q.Shard().Sim())
+			g := gro.NewNull(func(seg *packet.Segment) { pool.Put(seg) })
+			g.UsePool(pool)
+			return g
+		})
+	defer srx.Stop()
+
+	p := packet.Packet{Flow: packet.FiveTuple{SrcIP: 1, DstIP: 9, SrcPort: 7,
+		DstPort: 5001, Proto: packet.ProtoTCP}}
+	p.FlowHash = p.Flow.Hash(0)
+	before := srx.QueueFor(&p)
+	srx.Rehash(0x9e3779b9)
+	after := srx.QueueFor(&p)
+	if before == after {
+		t.Fatalf("salt 0x9e3779b9 left flow on queue %d; want a reroute", before)
+	}
+
+	p.Seq, p.PayloadLen, p.Flags = 1, units.MSS, packet.FlagACK|packet.FlagPSH
+	srx.Inject(0, &p)
+	srx.RunEpoch(sim.Time(0).Add(time.Millisecond))
+	if got := srx.Queue(after).RxPackets; got != 1 {
+		t.Errorf("queue %d RxPackets = %d after rehash, want 1", after, got)
+	}
+	if got := srx.Queue(before).RxPackets; got != 0 {
+		t.Errorf("old queue %d RxPackets = %d after rehash, want 0", before, got)
+	}
+}
+
+// TestShardedRXLateInjectionPanics pins the lookahead contract: staging
+// an arrival beyond the epoch horizon is a programming error the
+// datapath refuses, not a silent reordering.
+func TestShardedRXLateInjectionPanics(t *testing.T) {
+	srx := NewShardedRX(1, ShardedRXConfig{Queues: 2, Shards: 2},
+		func(q *ShardQueue) gro.Offload {
+			pool := packet.SegPoolFromSim(q.Shard().Sim())
+			g := gro.NewNull(func(seg *packet.Segment) { pool.Put(seg) })
+			g.UsePool(pool)
+			return g
+		})
+	defer srx.Stop()
+
+	p := packet.Packet{Flow: packet.FiveTuple{SrcIP: 1, DstIP: 9, SrcPort: 7,
+		DstPort: 5001, Proto: packet.ProtoTCP},
+		Seq: 1, PayloadLen: units.MSS, Flags: packet.FlagACK | packet.FlagPSH}
+	epoch := sim.Time(0).Add(100 * time.Microsecond)
+	srx.Inject(epoch.Add(time.Microsecond), &p) // beyond the first epoch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunEpoch accepted an arrival staged beyond the horizon")
+		}
+	}()
+	srx.RunEpoch(epoch)
+}
