@@ -11,6 +11,7 @@ import (
 	"juggler/internal/stats"
 	"juggler/internal/tcp"
 	"juggler/internal/telemetry"
+	"juggler/internal/telemetry/fleet"
 	"juggler/internal/testbed"
 	"juggler/internal/units"
 	"juggler/internal/workload"
@@ -44,13 +45,20 @@ type ClusterConfig struct {
 	// Telemetry enables the cross-layer observability sink; read the
 	// exports back with WriteTrace / WritePcap / WriteMetrics.
 	Telemetry bool
+	// Fleet, when non-nil, attaches the fleet telemetry aggregator
+	// (internal/telemetry/fleet): every host added afterwards gets a
+	// rollup probe sampled on the fleet cadence, RPC completions feed
+	// the fleet FCT sketch, and FleetReport returns the merged
+	// cluster-health report. Use &fleet.Config{} for defaults.
+	Fleet *fleet.Config
 }
 
 // Cluster is a running Clos simulation.
 type Cluster struct {
-	s   *sim.Sim
-	tb  *testbed.ClosTestbed
-	cfg ClusterConfig
+	s     *sim.Sim
+	tb    *testbed.ClosTestbed
+	cfg   ClusterConfig
+	fleet *fleet.Aggregator
 }
 
 // Node is one host in a Cluster.
@@ -105,7 +113,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Priority: cfg.PriorityQueues,
 		UplinkLB: picker,
 	})
-	return &Cluster{s: s, tb: tb, cfg: cfg}
+	c := &Cluster{s: s, tb: tb, cfg: cfg}
+	if cfg.Fleet != nil {
+		c.fleet = fleet.NewAggregator(*cfg.Fleet)
+	}
+	return c
 }
 
 // AddHost attaches a host under ToR tor.
@@ -113,7 +125,30 @@ func (c *Cluster) AddHost(tor int) *Node {
 	hostCfg := testbed.DefaultHostConfig(c.cfg.Stack.kind())
 	hostCfg.LinkRate = units.BitRate(c.cfg.LinkRate)
 	hostCfg.Juggler = c.cfg.Tuning.coreConfig()
-	return &Node{host: c.tb.AddHost(tor, hostCfg), c: c}
+	h := c.tb.AddHost(tor, hostCfg)
+	if c.fleet != nil {
+		attachFleetProbe(c.fleet, c.s, h, tor)
+	}
+	return &Node{host: h, c: c}
+}
+
+// attachFleetProbe registers a serial host with the fleet aggregator:
+// the delivery tap feeds the sojourn sketch and flow tracker, and the
+// cadence ticker samples the stack's gauges and counters.
+func attachFleetProbe(agg *fleet.Aggregator, s *sim.Sim, h *testbed.Host, tor int) {
+	lane := agg.AddHost(h.Name, tor, 1).Lane(0)
+	h.DeliverTap = lane.ObserveDelivery
+	lane.SetSample(func(cn *fleet.Counters) {
+		cn.BufferedBytes = int64(h.JugglerBufferedBytes())
+		cn.SegPoolLive = h.SegPoolLive()
+		cn.TableFlows = int64(h.JugglerTableLen())
+		cn.Retunes = h.AdaptRetunes()
+		st := h.JugglerStats()
+		cn.Retransmissions = st.Retransmissions
+		cn.OfoHolds = st.FlushOfoTimeout
+		cn.Drops = h.DroppedSegs
+	})
+	lane.Start(s)
 }
 
 // FlowOptions tune one connection.
@@ -143,7 +178,11 @@ func (c *Cluster) ConnectRPC(n, dst *Node, opt FlowOptions) *RPCStream {
 		PaceRate: units.BitRate(opt.Pace), ECN: opt.ECN, MaxCwnd: opt.MaxWindow,
 	})
 	lat := stats.NewSampler(4096)
-	return &RPCStream{stream: workload.NewRPCStream(c.s, snd, rcv, lat), snd: snd, lat: lat}
+	rs := &RPCStream{stream: workload.NewRPCStream(c.s, snd, rcv, lat), snd: snd, lat: lat}
+	if c.fleet != nil {
+		rs.stream.OnLatency = func(d time.Duration) { c.fleet.ObserveFCT(int64(d)) }
+	}
+	return rs
 }
 
 // AddBackground injects Poisson cross traffic at the given average rate
@@ -185,6 +224,27 @@ func (c *Cluster) WritePcap(w io.Writer) error {
 // WriteMetrics writes the run's metric snapshot in Prometheus text format.
 func (c *Cluster) WriteMetrics(w io.Writer) error {
 	return telemetry.FromSim(c.s).Reg().WriteProm(w)
+}
+
+// FleetReport stops fleet sampling, takes a final sample of every
+// probe, and returns the merged cluster-health report. Returns nil
+// unless ClusterConfig.Fleet was set.
+func (c *Cluster) FleetReport() *fleet.Report {
+	if c.fleet == nil {
+		return nil
+	}
+	c.fleet.StopAll()
+	return c.fleet.Report(c.Now())
+}
+
+// WriteFleetReport writes the fleet report as schema-validated,
+// byte-stable JSON. No-op without ClusterConfig.Fleet.
+func (c *Cluster) WriteFleetReport(w io.Writer) error {
+	r := c.FleetReport()
+	if r == nil {
+		return nil
+	}
+	return r.WriteJSON(w)
 }
 
 // Stats summarizes a node's receive path.

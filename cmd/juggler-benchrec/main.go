@@ -9,11 +9,13 @@
 // re-checking on the way that both produce byte-identical tables — and
 // the sharded receive datapath's shard_scaling record (the shardedrx
 // workload at 1/2/4/8 execution lanes, with the byte-identity of every
-// level's table re-checked the same way).
+// level's table re-checked the same way). The fleet telemetry sketch
+// update path (fleet_sketch: quantile sketch + heavy-hitter Observe)
+// joins both the micro section and the zero-alloc gate.
 //
 // Usage:
 //
-//	juggler-benchrec [-o BENCH_09.json] [-sweep fig13] [-quick] [-j 0]
+//	juggler-benchrec [-o BENCH_10.json] [-sweep fig13] [-quick] [-j 0]
 //
 // The committed BENCH_NN.json at the repo root is this command's output;
 // CI regenerates it on every run and uploads it as an artifact. Numbers
@@ -37,7 +39,7 @@ import (
 )
 
 func main() {
-	out := flag.String("o", "BENCH_09.json", "output path ('-' = stdout)")
+	out := flag.String("o", "BENCH_10.json", "output path ('-' = stdout)")
 	sweepID := flag.String("sweep", "fig13", "experiment to time serial vs parallel")
 	quick := flag.Bool("quick", false, "time the quick (~10x smaller) sweep instead of full fidelity")
 	workers := flag.Int("j", 0, "parallel width for the sweep timing (0 = one per core)")

@@ -13,6 +13,13 @@
 //	               [-stamp-sample N] [-json out.json|-] [-check]
 //	               [-explain "flow=K seq=N"]
 //	juggler-doctor -replay run.txt [-json out.json] [-explain ...]
+//	juggler-doctor -fleet [-json out.json|-] [-check] [-quick] [-seed N]
+//
+// -fleet switches to cluster-health mode: it runs the fleet
+// experiment's impaired cluster (internal/experiments, "fleet") with
+// the fleet telemetry aggregator attached and prints the ranked
+// host-health table; -json/-check then apply to the fleet report and
+// its embedded fleet.schema.json instead of the diagnosis schema.
 //
 // -json writes the machine-readable report ("-" = stdout, suppressing the
 // human report); with -scenario all it holds an array, one object per
@@ -54,6 +61,7 @@ import (
 	"juggler/internal/sim"
 	"juggler/internal/sweep"
 	"juggler/internal/telemetry"
+	"juggler/internal/telemetry/fleet"
 	"juggler/internal/testbed"
 )
 
@@ -75,6 +83,7 @@ func main() {
 	check := flag.Bool("check", false, "validate the JSON diagnosis against the embedded schema; exit 1 on mismatch")
 	explainQ := flag.String("explain", "", `audit-ring provenance query, e.g. "flow=0 seq=292000"`)
 	replayPath := flag.String("replay", "", "diagnose a packet trace / recorded run instead of running a scenario")
+	fleetMode := flag.Bool("fleet", false, "run the fleet experiment's impaired cluster and print the ranked host-health report (-json/-check apply to the fleet report)")
 	list := flag.Bool("list", false, "list chaos scenarios and exit")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -93,6 +102,11 @@ func main() {
 	bk, err := reasm.ParseKind(*backend)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *fleetMode {
+		runFleet(*seed, *quick, bk, *adaptFlag, *stampSample, *jsonOut, *check)
+		return
 	}
 
 	var diags []*telemetry.Diagnosis
@@ -161,6 +175,54 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "juggler-doctor: %d report(s) conform to diagnosis.schema.json\n", len(diags))
+	}
+}
+
+// runFleet is the -fleet mode: it runs the fleet experiment's impaired
+// cluster point (one receiver's ingress through a chaos reorderer +
+// loss pair) with the fleet telemetry aggregator attached and prints
+// the ranked host-health report. -json writes the schema-validated
+// report JSON ('-' = stdout, suppressing the human table); -check
+// validates it against the embedded fleet.schema.json and exits 1 on
+// mismatch. Byte-identical for the same seed.
+func runFleet(seed int64, quick bool, bk reasm.Kind, adapt bool, stampSample int, jsonOut string, check bool) {
+	o := experiments.Options{Seed: seed, Quick: quick, Workers: 1,
+		Backend: bk, Adapt: adapt, StampSample: stampSample}
+	r := experiments.CollectFleetReport(o, true)
+
+	human := os.Stdout
+	if jsonOut == "-" {
+		human = nil // JSON owns stdout
+	}
+	if human != nil {
+		r.Fprint(human)
+	}
+
+	var buf bytes.Buffer
+	if jsonOut != "" || check {
+		if err := r.WriteJSON(&buf); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonOut != "" {
+		if jsonOut == "-" {
+			os.Stdout.Write(buf.Bytes())
+		} else if err := os.WriteFile(jsonOut, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if check {
+		problems, err := fleet.Validate(buf.Bytes())
+		if err != nil {
+			fatal(err)
+		}
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "juggler-doctor: fleet schema:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "juggler-doctor: fleet report conforms to fleet.schema.json")
 	}
 }
 

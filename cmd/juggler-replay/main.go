@@ -32,8 +32,11 @@ import (
 	"sort"
 	"time"
 
+	"juggler/internal/adapt"
 	"juggler/internal/core"
+	"juggler/internal/gro"
 	"juggler/internal/packet"
+	"juggler/internal/reasm"
 	"juggler/internal/replay"
 	"juggler/internal/sim"
 	"juggler/internal/telemetry"
@@ -44,11 +47,20 @@ func main() {
 	ofo := flag.Duration("ofo", 50*time.Microsecond, "ofo_timeout")
 	maxFlows := flag.Int("maxflows", 64, "gro_table size")
 	noLearn := flag.Bool("nolearn", false, "disable build-up seq_next learning (Remark 1 ablation)")
+	backend := flag.String("backend", "seglist", "Juggler reassembly backend: seglist | batchsort | bitmap | ring")
+	adaptFlag := flag.Bool("adapt", false, "self-tune the timeouts online (-inseq/-ofo become starting points)")
+	stampSample := flag.Int("stamp-sample", 1, "hop-stamp 1-in-N sampling rate (1 = every packet, exact)")
 	drain := flag.Duration("drain", 10*time.Millisecond, "time to run after the last packet")
 	events := flag.Bool("events", false, "dump the internal event trace too")
 	traceOut := flag.String("trace", "", "write Perfetto/Chrome trace-event JSON to this file")
 	pcapOut := flag.String("pcap", "", "write a pcapng packet capture to this file")
 	flag.Parse()
+
+	bk, err := reasm.ParseKind(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juggler-replay:", err)
+		os.Exit(1)
+	}
 
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -72,6 +84,7 @@ func main() {
 	}
 
 	s := sim.New(1)
+	packet.AttachStampSampler(s, *stampSample)
 	tel := telemetry.New(s, telemetry.Options{EventCap: 4096})
 	iface := tel.Iface("replay")
 	cfg := core.Config{
@@ -79,26 +92,41 @@ func main() {
 		OfoTimeout:             *ofo,
 		MaxFlows:               *maxFlows,
 		DisableBuildUpLearning: *noLearn,
+		Backend:                bk,
 	}
 	j := core.New(s, cfg, func(seg *packet.Segment) {
-		packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
+		if !seg.SkipStamps {
+			packet.Stamp(&seg.Stamps, packet.HopDeliver, s.Now())
+		}
 		tel.ObserveDelivery(seg)
 		fmt.Printf("%12v  DELIVER %-8s seq=%-8d len=%-7d pkts=%-3d %v\n",
 			time.Duration(s.Now()), tr.FlowName(seg.Flow), seg.Seq, seg.Bytes, seg.Pkts, seg.Flags)
 	})
+	// The offload under test: bare Juggler, or Juggler wrapped by the
+	// self-tuning controller so every arrival feeds the detector.
+	var off gro.Offload = j
+	var ctl *adapt.Controller
+	if *adaptFlag {
+		ctl = adapt.NewController(s, adapt.DefaultConfig())
+		off = ctl.Wrap(j)
+	}
 
+	// Sampling verdicts are taken in trace order at schedule time —
+	// replay has no sender NIC, so this stands in for the wire TX.
+	sampler := packet.StampSamplerFromSim(s)
 	for _, tp := range tr.Packets {
 		tp := tp
+		sampler.Apply(&tp.Pkt)
 		s.Schedule(tp.At, func() {
 			fmt.Printf("%12v  arrive  %-8s seq=%-8d len=%-7d %v\n",
 				tp.At, tr.FlowName(tp.Pkt.Flow), tp.Pkt.Seq, tp.Pkt.PayloadLen, tp.Pkt.Flags)
 			tel.CapturePacket(iface, true, &tp.Pkt)
-			packet.Stamp(&tp.Pkt.Stamps, packet.HopGROBuffer, s.Now())
-			j.Receive(&tp.Pkt)
+			packet.StampPkt(&tp.Pkt, packet.HopGROBuffer, s.Now())
+			off.Receive(&tp.Pkt)
 		})
 	}
 	// Poll completions pace the timeout checks, as in the NIC.
-	tick := sim.NewTicker(s, 5*time.Microsecond, j.PollComplete)
+	tick := sim.NewTicker(s, 5*time.Microsecond, off.PollComplete)
 	tick.Start()
 	s.RunFor(tr.Last() + *drain)
 	tick.Stop()
@@ -116,6 +144,11 @@ func main() {
 	fmt.Printf("evictions         inactive=%d active=%d loss=%d\n",
 		st.EvictionsInactive, st.EvictionsActive, st.EvictionsLoss)
 	fmt.Printf("buffered now      %d bytes\n", j.BufferedBytes())
+	if ctl != nil {
+		ci, co := ctl.Timeouts()
+		fmt.Printf("adapt             retunes=%d final inseq=%v ofo=%v\n",
+			ctl.Stats.Retunes, ci, co)
+	}
 	if f := tel.Forensics; f.Delivered() > 0 {
 		hold := int64(0)
 		if len(f.Slowest()) > 0 {

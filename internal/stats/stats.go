@@ -66,6 +66,10 @@ func (s *Sampler) Median() float64 { return s.Quantile(0.5) }
 // P99 is Quantile(0.99).
 func (s *Sampler) P99() float64 { return s.Quantile(0.99) }
 
+// P999 is Quantile(0.999) — the deep-tail reference the fleet sketches
+// are differentially tested against.
+func (s *Sampler) P999() float64 { return s.Quantile(0.999) }
+
 // Mean returns the arithmetic mean (0 when empty).
 func (s *Sampler) Mean() float64 {
 	if len(s.xs) == 0 {

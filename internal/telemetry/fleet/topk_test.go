@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"juggler/internal/packet"
+)
+
+// TestTopKDifferentialFuzz checks the space-saving guarantees against an
+// exact frequency map over zipf-ish random streams:
+//
+//  1. every tracked key: Count-Err <= true <= Count;
+//  2. every key with true weight > Total/k is tracked.
+func TestTopKDifferentialFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(12)
+		tk := NewTopK(k)
+		exact := map[uint64]int64{}
+		zipf := rand.NewZipf(rng, 1.3, 1.0, 200)
+		n := 500 + rng.Intn(5000)
+		var total int64
+		for i := 0; i < n; i++ {
+			key := zipf.Uint64()
+			w := 1 + rng.Int63n(1000)
+			tk.Observe(key, packet.FiveTuple{}, w)
+			exact[key] += w
+			total += w
+		}
+		if tk.Total() != total {
+			t.Fatalf("seed %d: total %d, want %d", seed, tk.Total(), total)
+		}
+		tracked := map[uint64]TopEntry{}
+		for _, e := range tk.Entries() {
+			tracked[e.Key] = e
+			truth := exact[e.Key]
+			if truth > e.Count {
+				t.Fatalf("seed %d key %d: count %d underestimates true %d", seed, e.Key, e.Count, truth)
+			}
+			if e.Count-e.Err > truth {
+				t.Fatalf("seed %d key %d: count-err %d exceeds true %d", seed, e.Key, e.Count-e.Err, truth)
+			}
+		}
+		for key, truth := range exact {
+			if truth > total/int64(k) {
+				if _, ok := tracked[key]; !ok {
+					t.Fatalf("seed %d: heavy key %d (weight %d > %d/%d) not tracked",
+						seed, key, truth, total, k)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKMergeGuarantees: the same space-saving invariants must survive
+// merging per-shard trackers of a split stream.
+func TestTopKMergeGuarantees(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const k, shards = 8, 4
+		parts := make([]*TopK, shards)
+		for i := range parts {
+			parts[i] = NewTopK(k)
+		}
+		exact := map[uint64]int64{}
+		zipf := rand.NewZipf(rng, 1.4, 1.0, 100)
+		var total int64
+		for i := 0; i < 4000; i++ {
+			key := zipf.Uint64()
+			w := 1 + rng.Int63n(100)
+			parts[rng.Intn(shards)].Observe(key, packet.FiveTuple{}, w)
+			exact[key] += w
+			total += w
+		}
+		merged := NewTopK(k)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Total() != total {
+			t.Fatalf("seed %d: merged total %d, want %d", seed, merged.Total(), total)
+		}
+		for _, e := range merged.Entries() {
+			truth := exact[e.Key]
+			if truth > e.Count {
+				t.Fatalf("seed %d key %d: merged count %d underestimates true %d", seed, e.Key, e.Count, truth)
+			}
+			if e.Count-e.Err > truth {
+				t.Fatalf("seed %d key %d: merged count-err %d exceeds true %d", seed, e.Key, e.Count-e.Err, truth)
+			}
+		}
+	}
+}
+
+// TestTopKMergeDeterministic: merging the same leaf trackers in the same
+// structural order must be reproducible slot-for-slot (execution
+// schedule never enters the merge), and exactly associative while the
+// union fits in k.
+func TestTopKMergeDeterministic(t *testing.T) {
+	build := func() []*TopK {
+		rng := rand.New(rand.NewSource(42))
+		parts := make([]*TopK, 4)
+		for i := range parts {
+			parts[i] = NewTopK(8)
+		}
+		for i := 0; i < 2000; i++ {
+			parts[rng.Intn(4)].Observe(uint64(rng.Intn(64)), packet.FiveTuple{}, 1+rng.Int63n(50))
+		}
+		return parts
+	}
+	a, b := build(), build()
+	ma, mb := NewTopK(8), NewTopK(8)
+	for i := range a {
+		ma.Merge(a[i])
+	}
+	for i := range b {
+		mb.Merge(b[i])
+	}
+	if !reflect.DeepEqual(ma.Entries(), mb.Entries()) {
+		t.Fatal("same leaves merged in same order gave different results")
+	}
+
+	// Exact associativity under capacity: 6 distinct keys, k=8.
+	mk := func(pairs ...int64) *TopK {
+		tk := NewTopK(8)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			tk.Observe(uint64(pairs[i]), packet.FiveTuple{}, pairs[i+1])
+		}
+		return tk
+	}
+	x, y, z := mk(1, 10, 2, 20), mk(2, 5, 3, 7), mk(1, 1, 4, 9)
+	left := NewTopK(8)
+	left.Merge(x)
+	left.Merge(y)
+	left.Merge(z)
+	yz := NewTopK(8)
+	yz.Merge(y)
+	yz.Merge(z)
+	right := NewTopK(8)
+	right.Merge(x)
+	right.Merge(yz)
+	if !reflect.DeepEqual(left.Entries(), right.Entries()) {
+		t.Fatalf("under-capacity merge not associative:\n%v\n%v", left.Entries(), right.Entries())
+	}
+}
+
+// TestTopKEviction pins the deterministic space-saving eviction: the
+// first minimum-count slot is replaced and the newcomer inherits its
+// count as error.
+func TestTopKEviction(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Observe(1, packet.FiveTuple{}, 5)
+	tk.Observe(2, packet.FiveTuple{}, 3)
+	tk.Observe(3, packet.FiveTuple{}, 1) // evicts key 2 (min=3)
+	es := tk.Entries()
+	if len(es) != 2 || es[0].Key != 1 || es[1].Key != 3 {
+		t.Fatalf("entries = %v", es)
+	}
+	if es[1].Count != 4 || es[1].Err != 3 {
+		t.Fatalf("newcomer count/err = %d/%d, want 4/3", es[1].Count, es[1].Err)
+	}
+}
+
+// TestTopKObserveZeroAlloc gates the update path at 0 allocs/op once the
+// slots are occupied.
+func TestTopKObserveZeroAlloc(t *testing.T) {
+	tk := NewTopK(8)
+	for i := uint64(0); i < 8; i++ {
+		tk.Observe(i, packet.FiveTuple{}, 1)
+	}
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		tk.Observe(i%12, packet.FiveTuple{}, 7)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkTopKObserve(b *testing.B) {
+	tk := NewTopK(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Observe(uint64(i%16), packet.FiveTuple{}, 1)
+	}
+}

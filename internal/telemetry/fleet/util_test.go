@@ -1,0 +1,5 @@
+package fleet_test
+
+import "encoding/json"
+
+func jsonUnmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }

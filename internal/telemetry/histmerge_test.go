@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramMergeEqualsUnionStream: merging two histograms must be
+// indistinguishable from one histogram that observed both streams —
+// bucket by bucket, count, and sum. That exactness (no re-bucketing,
+// no sampling) is what makes Merge associative and rollup-path
+// independent.
+func TestHistogramMergeEqualsUnionStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var a, b, union Histogram
+		for i := 0; i < 500; i++ {
+			// Spread across many octaves, including <=0 and the
+			// overflow bucket.
+			v := rng.Int63n(1<<uint(rng.Intn(63))+1) - 2
+			if rng.Intn(2) == 0 {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+			union.Observe(v)
+		}
+		a.Merge(&b)
+		if a != union {
+			t.Fatalf("trial %d: merged histogram differs from union-stream histogram\nmerged: %+v\nunion:  %+v",
+				trial, a, union)
+		}
+	}
+}
+
+// TestHistogramMergeBucketEdgeAlignment: histograms that observed
+// disjoint value ranges (so they populated disjoint bucket sets) must
+// merge with every sample landing in the bucket its value maps to —
+// the shared fixed log2 edges mean no sample ever shifts buckets in a
+// merge, even right at the power-of-two boundaries.
+func TestHistogramMergeBucketEdgeAlignment(t *testing.T) {
+	var lo, hi Histogram
+	// lo fills the exact lower edges of buckets, hi the exact upper
+	// edges of much higher buckets.
+	loVals := []int64{0, 1, 2, 3, 4, 7, 8}
+	hiVals := []int64{1 << 20, 1<<21 - 1, 1 << 40, 1<<41 - 1, 1 << 62}
+	for _, v := range loVals {
+		lo.Observe(v)
+	}
+	for _, v := range hiVals {
+		hi.Observe(v)
+	}
+	lo.Merge(&hi)
+
+	if lo.Count() != int64(len(loVals)+len(hiVals)) {
+		t.Fatalf("merged count %d, want %d", lo.Count(), len(loVals)+len(hiVals))
+	}
+	var wantSum int64
+	for _, v := range append(loVals, hiVals...) {
+		wantSum += v
+		if lo.Bucket(bucketOf(v)) == 0 {
+			t.Fatalf("value %d missing from its bucket %d after merge", v, bucketOf(v))
+		}
+	}
+	if lo.Sum() != wantSum {
+		t.Fatalf("merged sum %d, want %d", lo.Sum(), wantSum)
+	}
+	// Cumulative bucket boundaries are preserved: everything at or
+	// below 8 stays within buckets [0, bucketOf(8)].
+	var cum int64
+	for i := 0; i <= bucketOf(8); i++ {
+		cum += lo.Bucket(i)
+	}
+	if cum != int64(len(loVals)) {
+		t.Fatalf("low-range samples leaked across bucket edges: %d at or below bucket %d, want %d",
+			cum, bucketOf(8), len(loVals))
+	}
+}
+
+// TestHistogramMergeAssociativeAndNilSafe: (a+b)+c == a+(b+c), merge
+// order never matters, and nil receivers/arguments are no-ops — the
+// properties rollup trees rely on.
+func TestHistogramMergeAssociativeAndNilSafe(t *testing.T) {
+	mk := func(vals ...int64) *Histogram {
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	left := mk(1, 5)
+	left.Merge(mk(100, 3))
+	left.Merge(mk(1 << 30))
+
+	bc := mk(100, 3)
+	bc.Merge(mk(1 << 30))
+	right := mk(1, 5)
+	right.Merge(bc)
+
+	if *left != *right {
+		t.Fatalf("merge is not associative:\nleft-fold:  %+v\nright-fold: %+v", *left, *right)
+	}
+
+	var nilH *Histogram
+	nilH.Merge(left) // must not panic
+	before := *left
+	left.Merge(nil) // must not change anything
+	if *left != before {
+		t.Fatal("Merge(nil) modified the receiver")
+	}
+}

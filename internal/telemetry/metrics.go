@@ -118,6 +118,24 @@ func (h *Histogram) Sum() int64 {
 	return h.sum
 }
 
+// Merge folds o's samples into h: element-wise bucket addition plus
+// count and sum. Because both histograms share the fixed log2 bucket
+// edges, merging is exact at bucket resolution — merging equals having
+// observed the union stream — and therefore associative, commutative,
+// and independent of which rollup path delivered the samples (the
+// fleet-telemetry merge rule). Safe on a nil receiver (no-op) and a
+// nil argument.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // Bucket returns the raw count in bucket i (0 on nil or out of range).
 func (h *Histogram) Bucket(i int) int64 {
 	if h == nil || i < 0 || i >= histBuckets {

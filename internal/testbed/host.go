@@ -131,6 +131,12 @@ type Host struct {
 	// point.
 	SegmentTap func(seg *packet.Segment)
 
+	// DeliverTap, when non-nil, observes every segment at the final
+	// delivery point (after the HopDeliver stamp, before the segment is
+	// recycled). The fleet telemetry probe installs here; the segment
+	// must not be retained.
+	DeliverTap func(seg *packet.Segment)
+
 	// DroppedSegs counts segments lost to app-core backlog overflow.
 	DroppedSegs int64
 	// UnmatchedSegs counts segments with no registered endpoint.
@@ -290,6 +296,9 @@ func (h *Host) dispatch(seg *packet.Segment) {
 		packet.Stamp(&seg.Stamps, packet.HopDeliver, h.sim.Now())
 	}
 	h.tel.ObserveDelivery(seg)
+	if h.DeliverTap != nil {
+		h.DeliverTap(seg)
+	}
 	h.route(seg)
 	h.segPool.Put(seg)
 }
@@ -359,6 +368,48 @@ func (h *Host) JugglerLossLen() int {
 		n += j.LossLen()
 	}
 	return n
+}
+
+// JugglerTableLen sums the gro_table occupancy (flow-table entries)
+// across the host's Juggler instances.
+func (h *Host) JugglerTableLen() int {
+	n := 0
+	for _, j := range h.Jugglers {
+		n += j.TableLen()
+	}
+	return n
+}
+
+// JugglerBufferedBytes sums the reordering-buffer occupancy across the
+// host's Juggler instances.
+func (h *Host) JugglerBufferedBytes() int {
+	n := 0
+	for _, j := range h.Jugglers {
+		n += j.BufferedBytes()
+	}
+	return n
+}
+
+// JugglerStats merges the per-instance counters in queue order.
+func (h *Host) JugglerStats() core.Stats {
+	var s core.Stats
+	for _, j := range h.Jugglers {
+		s.Add(j.Stats)
+	}
+	return s
+}
+
+// SegPoolLive exposes the host segment pool's live (unreturned) count —
+// the leak canary the fleet rollup samples.
+func (h *Host) SegPoolLive() int64 { return h.segPool.Live() }
+
+// AdaptRetunes returns the adaptive controller's actuation count (0
+// without a controller).
+func (h *Host) AdaptRetunes() int64 {
+	if h.Adapt == nil {
+		return 0
+	}
+	return h.Adapt.Stats.Retunes
 }
 
 // OffloadCounters aggregates offload counters across RX queues.

@@ -35,6 +35,13 @@ type ShardedHostConfig struct {
 	// on the queue's own lane — the per-RX-queue adaptive configuration:
 	// every queue measures its own traffic and tunes its own instance.
 	Adapt *adapt.Config
+
+	// DeliverTap, when non-nil, observes every delivered segment on the
+	// owning queue's lane goroutine, before the segment is recycled.
+	// Tap state must be lane-local (e.g. one fleet.LaneProbe per queue,
+	// merged in queue order at report time): two queues may fire
+	// concurrently on different lanes.
+	DeliverTap func(queue int, seg *packet.Segment)
 }
 
 // ShardedQueueStats are one queue's delivery counters. The struct is
@@ -61,6 +68,7 @@ type ShardedHost struct {
 	Controllers []*adapt.Controller
 
 	stats []*ShardedQueueStats
+	pools []*packet.SegPool
 }
 
 // NewShardedHost builds the datapath. Construction happens on the
@@ -73,9 +81,20 @@ func NewShardedHost(seed int64, cfg ShardedHostConfig) *ShardedHost {
 		h.stats = append(h.stats, st)
 		ls := q.Shard().Sim()
 		pool := packet.SegPoolFromSim(ls)
+		h.pools = append(h.pools, pool)
+		queue := q.ID()
 		deliver := func(seg *packet.Segment) {
 			st.DeliveredBytes += int64(seg.Bytes)
 			st.DeliveredSegs++
+			if cfg.DeliverTap != nil {
+				// Stamp the final hop on the lane clock so the tap can
+				// compute end-to-end sojourns; pay-as-you-go — untapped
+				// hosts keep the bare fast path.
+				if !seg.SkipStamps {
+					packet.Stamp(&seg.Stamps, packet.HopDeliver, ls.Now())
+				}
+				cfg.DeliverTap(queue, seg)
+			}
 			pool.Put(seg)
 		}
 		switch cfg.Offload {
@@ -109,6 +128,13 @@ func NewShardedHost(seed int64, cfg ShardedHostConfig) *ShardedHost {
 // QueueStats returns queue i's delivery counters. Coordinator-side:
 // read between epochs or after Finish.
 func (h *ShardedHost) QueueStats(i int) ShardedQueueStats { return *h.stats[i] }
+
+// NumQueues returns the logical queue count.
+func (h *ShardedHost) NumQueues() int { return len(h.stats) }
+
+// QueueSegPoolLive returns queue i's lane-local segment pool live count.
+// Coordinator-side: read between epochs or after Finish.
+func (h *ShardedHost) QueueSegPoolLive(i int) int64 { return h.pools[i].Live() }
 
 // DeliveredBytes sums delivered payload over all queues in queue order.
 func (h *ShardedHost) DeliveredBytes() int64 {

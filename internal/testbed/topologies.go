@@ -72,8 +72,21 @@ func NewClosTestbed(s *sim.Sim, cfg fabric.ClosConfig) *ClosTestbed {
 
 // AddHost attaches a full host under the given ToR.
 func (tb *ClosTestbed) AddHost(tor int, cfg HostConfig) *Host {
+	return tb.AddHostVia(tor, cfg, nil)
+}
+
+// AddHostVia attaches a host like AddHost but lets the caller wrap the
+// host's fabric-facing receive sink — the seam where chaos impairments
+// (reordering, loss) are interposed on one host's ingress so a fleet
+// report has something to flag. wrap receives the host's RX sink and
+// returns the sink the ToR delivers into.
+func (tb *ClosTestbed) AddHostVia(tor int, cfg HostConfig, wrap func(fabric.Sink) fabric.Sink) *Host {
 	h := NewHost(tb.Sim, fmt.Sprintf("h%d-%d", tor, len(tb.Hosts)), cfg)
-	ip, egress := tb.Clos.AttachHost(tor, h.Sink())
+	rx := h.Sink()
+	if wrap != nil {
+		rx = wrap(rx)
+	}
+	ip, egress := tb.Clos.AttachHost(tor, rx)
 	h.IP = ip
 	h.ConnectEgress(egress, hostProp)
 	tb.Hosts = append(tb.Hosts, h)

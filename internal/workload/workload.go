@@ -32,6 +32,9 @@ type RPCStream struct {
 	// OnComplete, when non-nil, fires once per finished RPC — closed-loop
 	// generators hook in here to issue the next request.
 	OnComplete func()
+	// OnLatency, when non-nil, observes each completed RPC's latency
+	// (the fleet FCT sketch hooks in here; fires before OnComplete).
+	OnLatency func(d time.Duration)
 	// Classify, when non-nil, selects the sampler per RPC size (e.g. to
 	// separate short- and long-flow latency in a mixed workload);
 	// otherwise Latency records everything.
@@ -78,7 +81,11 @@ func (r *RPCStream) onDeliver(cum int64) {
 		if r.Classify != nil {
 			sampler = r.Classify(r.pending[n].size)
 		}
-		sampler.AddDuration(r.sim.Now().Sub(r.pending[n].startAt))
+		d := r.sim.Now().Sub(r.pending[n].startAt)
+		sampler.AddDuration(d)
+		if r.OnLatency != nil {
+			r.OnLatency(d)
+		}
 		r.Completed++
 		n++
 	}
